@@ -1,0 +1,110 @@
+// Ablation study for the two Section 9 optimizations (DESIGN.md
+// experiments A1/A2):
+//  A1 coalesce hoisting -- one final coalesce (justified by Lemma 6.1)
+//     vs a coalesce after every rewritten operator;
+//  A2 pre-aggregation   -- aggregate per (group, interval) before the
+//     endpoint sweep vs sweeping raw tuples, vs the fully unfused
+//     split-then-aggregate plan (which is also what the alignment
+//     baseline does).
+//
+// Expected shape: hoisting removes a per-operator O(n log n) pass, and
+// pre-aggregation shrinks the sweep input dramatically (the paper's
+// explanation for the orders-of-magnitude aggregation speedups).
+#include <benchmark/benchmark.h>
+
+#include "datagen/employees.h"
+#include "datagen/workloads.h"
+#include "engine/temporal_ops.h"
+
+namespace periodk {
+namespace {
+
+const TemporalDB& Db() {
+  static const TemporalDB* kDb = [] {
+    EmployeesConfig config;
+    config.num_employees = 400;
+    auto* db = new TemporalDB(config.domain);
+    if (!LoadEmployees(db, config).ok()) std::abort();
+    return db;
+  }();
+  return *kDb;
+}
+
+const std::string& QuerySql(const char* name) {
+  for (const WorkloadQuery& q : EmployeeWorkload()) {
+    if (q.name == name) return q.sql;
+  }
+  std::abort();
+}
+
+void RunQuery(benchmark::State& state, const char* name,
+              RewriteOptions options) {
+  const std::string& sql = QuerySql(name);
+  for (auto _ : state) {
+    auto result = Db().Query(sql, options);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+
+// --- A1: coalesce hoisting (join-heavy query). -----------------------------
+
+void BM_Hoisting_On(benchmark::State& state) {
+  RewriteOptions options;
+  options.hoist_coalesce = true;
+  RunQuery(state, "join-1", options);
+}
+
+void BM_Hoisting_Off(benchmark::State& state) {
+  RewriteOptions options;
+  options.hoist_coalesce = false;
+  RunQuery(state, "join-1", options);
+}
+
+BENCHMARK(BM_Hoisting_On)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hoisting_Off)->Unit(benchmark::kMillisecond);
+
+// --- A2: pre-aggregation (aggregation-heavy query). ------------------------
+
+void BM_Aggregation_FusedPreagg(benchmark::State& state) {
+  RewriteOptions options;  // fused + pre-aggregated (default)
+  RunQuery(state, "agg-1", options);
+}
+
+void BM_Aggregation_FusedNoPreagg(benchmark::State& state) {
+  RewriteOptions options;
+  options.pre_aggregate = false;
+  RunQuery(state, "agg-1", options);
+}
+
+void BM_Aggregation_Unfused(benchmark::State& state) {
+  RewriteOptions options;
+  options.fuse_aggregation = false;
+  RunQuery(state, "agg-1", options);
+}
+
+BENCHMARK(BM_Aggregation_FusedPreagg)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Aggregation_FusedNoPreagg)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Aggregation_Unfused)->Unit(benchmark::kMillisecond);
+
+// --- Final coalesce implementation on a realistic query output. ------------
+
+void BM_FinalCoalesce_Native(benchmark::State& state) {
+  RewriteOptions options;
+  options.coalesce_impl = CoalesceImpl::kNative;
+  RunQuery(state, "join-2", options);
+}
+
+void BM_FinalCoalesce_Window(benchmark::State& state) {
+  RewriteOptions options;
+  options.coalesce_impl = CoalesceImpl::kWindow;
+  RunQuery(state, "join-2", options);
+}
+
+BENCHMARK(BM_FinalCoalesce_Native)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FinalCoalesce_Window)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace periodk
+
+BENCHMARK_MAIN();

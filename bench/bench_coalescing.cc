@@ -1,0 +1,89 @@
+// Reproduces paper Figure 5: multiset coalescing runtime for varying
+// input size (the paper sweeps 1k..3M rows of the salaries table and
+// observes runtime linear in the input for the analytic-window SQL
+// implementation on all three DBMSs).
+//
+// Two implementations are measured:
+//  * window  -- the SQL-style implementation the paper's middleware
+//    ships to the backend (RANGE running sum + LAG changepoint filter +
+//    LEAD interval close; several sort passes) => the Figure 5 series;
+//  * native  -- the in-kernel sweep the paper proposes as future work
+//    (Sec. 10.5 predicts a significantly smaller constant).
+//
+// Expected shape: both linear in input size; native has the smaller
+// constant factor.
+#include <benchmark/benchmark.h>
+
+#include "datagen/employees.h"
+#include "engine/temporal_ops.h"
+
+namespace periodk {
+namespace {
+
+// Salary-history shaped input (the paper's coalescing input): slices of
+// a generated salaries table, largest size first so one generation
+// serves all benchmarks.
+constexpr int64_t kMaxRows = 300000;
+
+const Relation& FullSalaries() {
+  static const Relation* kSalaries = [] {
+    EmployeesConfig config;
+    // ~9 salary rows per employee.
+    config.num_employees = static_cast<int>(kMaxRows / 9 + 1);
+    TemporalDB db(config.domain);
+    Status status = LoadEmployees(&db, config);
+    if (!status.ok()) std::abort();
+    // Normalize to (emp_no, salary, a_begin, a_end).
+    return new Relation(db.catalog().Get("salaries"));
+  }();
+  return *kSalaries;
+}
+
+Relation InputSlice(int64_t n) {
+  const Relation& full = FullSalaries();
+  std::vector<Row> rows(full.rows().begin(),
+                        full.rows().begin() +
+                            std::min<int64_t>(n, full.size()));
+  return Relation(full.schema(), std::move(rows));
+}
+
+void BM_CoalesceWindow(benchmark::State& state) {
+  Relation input = InputSlice(state.range(0));
+  for (auto _ : state) {
+    Relation out = CoalesceWindow(input);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * input.size());
+}
+
+void BM_CoalesceNative(benchmark::State& state) {
+  Relation input = InputSlice(state.range(0));
+  for (auto _ : state) {
+    Relation out = CoalesceNative(input);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * input.size());
+}
+
+BENCHMARK(BM_CoalesceWindow)
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Arg(10000)
+    ->Arg(30000)
+    ->Arg(100000)
+    ->Arg(300000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_CoalesceNative)
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Arg(10000)
+    ->Arg(30000)
+    ->Arg(100000)
+    ->Arg(300000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace periodk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace periodk {
+namespace bench {
+
+double TimeOnce(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+double TimeMedian(const std::function<void()>& fn, int repeats) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) times.push_back(TimeOnce(fn));
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {}
+
+void TablePrinter::PrintHeader() const {
+  std::string line;
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    std::printf("%-*s", widths_[i], headers_[i].c_str());
+  }
+  std::printf("\n");
+  int total = 0;
+  for (int w : widths_) total += w;
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    std::printf("%-*s", widths_[i], cells[i].c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::Seconds(double s) {
+  char buf[32];
+  if (s < 0) return "N/A";
+  std::snprintf(buf, sizeof(buf), "%.4f", s);
+  return buf;
+}
+
+void PrintBanner(const std::string& artifact, const std::string& note) {
+  std::printf("==========================================================\n");
+  std::printf("periodk reproduction: %s\n", artifact.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("==========================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace periodk

@@ -1,0 +1,43 @@
+// Shared harness code for the paper-reproduction benchmarks: wall-clock
+// timing and aligned table printing in the style of the paper's Tables
+// 2/3 and Figure 5 data series.
+#ifndef PERIODK_BENCH_BENCH_COMMON_H_
+#define PERIODK_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace periodk {
+namespace bench {
+
+/// Wall-clock seconds elapsed while running fn once.
+double TimeOnce(const std::function<void()>& fn);
+
+/// Median wall-clock seconds over `repeats` runs (paper: median over
+/// 10/100 runs with warm cache; we default to fewer for CI-scale data).
+double TimeMedian(const std::function<void()>& fn, int repeats = 3);
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<int> widths);
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+  static std::string Seconds(double s);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+/// Prints the standard benchmark banner with the paper artifact this
+/// binary reproduces.
+void PrintBanner(const std::string& artifact, const std::string& note);
+
+}  // namespace bench
+}  // namespace periodk
+
+#endif  // PERIODK_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,89 @@
+// Reproduces paper Table 2: the number of result rows of every workload
+// query (employees workload and the TPC-H subset at two scale factors).
+// Absolute counts differ from the paper (synthetic data at reduced
+// scale); the comparison points are the *relative* shapes: join-1/2 and
+// diff-2 return large results, join-3/4 and the aggregations return
+// small ones, and TPC-H counts grow mildly from the small to the large
+// scale factor.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "datagen/employees.h"
+#include "datagen/tpcbih.h"
+#include "datagen/workloads.h"
+
+namespace periodk {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+}  // namespace
+}  // namespace periodk
+
+int main() {
+  using namespace periodk;
+  int n_employees = EnvInt("PERIODK_BENCH_EMPLOYEES", 1000);
+  double sf_small = EnvDouble("PERIODK_BENCH_SF_SMALL", 0.002);
+  double sf_large = EnvDouble("PERIODK_BENCH_SF_LARGE", 0.02);
+
+  bench::PrintBanner(
+      "Table 2 -- number of query result rows",
+      "Synthetic data; scale via PERIODK_BENCH_EMPLOYEES / _SF_SMALL / "
+      "_SF_LARGE.");
+
+  {
+    EmployeesConfig config;
+    config.num_employees = n_employees;
+    TemporalDB db(config.domain);
+    Status status = LoadEmployees(&db, config);
+    if (!status.ok()) {
+      std::fprintf(stderr, "datagen failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nEmployees workload (%d employees, %zu salary rows)\n",
+                n_employees, db.catalog().Get("salaries").size());
+    bench::TablePrinter table({"Query", "Rows"}, {12, 12});
+    table.PrintHeader();
+    for (const WorkloadQuery& q : EmployeeWorkload()) {
+      auto result = db.Query(q.sql);
+      if (!result.ok()) {
+        table.PrintRow({q.name, result.status().ToString()});
+        continue;
+      }
+      table.PrintRow({q.name, std::to_string(result->size())});
+    }
+  }
+
+  for (double sf : {sf_small, sf_large}) {
+    TpcBihConfig config;
+    config.scale_factor = sf;
+    TemporalDB db(config.domain);
+    Status status = LoadTpcBih(&db, config);
+    if (!status.ok()) {
+      std::fprintf(stderr, "datagen failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nTPC-BiH, SF %.4g (%zu lineitem rows)\n", sf,
+                db.catalog().Get("lineitem").size());
+    bench::TablePrinter table({"Query", "Rows"}, {12, 12});
+    table.PrintHeader();
+    for (const WorkloadQuery& q : TpcBihWorkload()) {
+      auto result = db.Query(q.sql);
+      if (!result.ok()) {
+        table.PrintRow({q.name, result.status().ToString()});
+        continue;
+      }
+      table.PrintRow({q.name, std::to_string(result->size())});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Temporal provenance: the "any semiring K" generality of the framework
+// (paper Sections 4-6 and the applications listed in Section 11).
+//
+// The same period-semiring construction that fixes bag snapshot
+// semantics (K = N) yields, for K = Lin (which-provenance), *temporal
+// lineage*: for every query result tuple, which input tuples support it
+// at which times.  And for K = Trop (min-plus costs), the cheapest
+// derivation of each answer over time.  This example works directly in
+// the logical model (period K-relations) using the annotated-relation
+// API.
+//
+//   ./build/examples/example_temporal_provenance
+#include <cstdio>
+
+#include "annotated/evaluate.h"
+#include "semiring/lineage_semiring.h"
+#include "semiring/tropical_semiring.h"
+
+using namespace periodk;
+
+int main() {
+  TimeDomain day{0, 24};
+
+  // ---- Temporal lineage (K = Lin). ----------------------------------------
+  {
+    LineageSemiring lin;
+    PeriodSemiring<LineageSemiring> lint(lin, day);
+    // The running example's `works` relation; every base tuple gets a
+    // singleton lineage {id} over its validity period.
+    KRelation<PeriodSemiring<LineageSemiring>> works(lint);
+    auto add = [&](int id, const char* name, const char* skill, int64_t b,
+                   int64_t e) {
+      works.Add({Value::String(name), Value::String(skill)},
+                TemporalElement<LineageSemiring>(Interval(b, e),
+                                                 std::set<int>{id}));
+    };
+    add(1, "Ann", "SP", 3, 10);
+    add(2, "Joe", "NS", 8, 16);
+    add(3, "Sam", "SP", 8, 16);
+    add(4, "Ann", "SP", 18, 20);
+
+    KCatalog<PeriodSemiring<LineageSemiring>> catalog;
+    catalog.emplace("works", works);
+
+    // Which skills are available when -- and *which workers* provide
+    // them: Pi_skill(works) with lineage annotations.
+    PlanPtr q = MakeProject(
+        MakeScan("works", Schema::FromNames({"name", "skill"})),
+        {Col(1, "skill")}, {Column("skill")});
+    auto result = Evaluate(q, lint, catalog);
+    std::printf("Temporal lineage of available skills:\n");
+    for (const auto& [tuple, annotation] : result.tuples()) {
+      std::printf("  %-3s : %s\n", tuple[0].ToString().c_str(),
+                  lint.ToString(annotation).c_str());
+    }
+    // Reading: skill SP is supported by worker 1 during [3,8), by
+    // workers {1,3} during [8,10), by 3 alone until 16, by 4 in the
+    // evening -- lineage varies over time, which is exactly what the
+    // period semiring construction tracks.
+  }
+
+  // ---- Temporal minimum cost (K = Trop). ----------------------------------
+  {
+    TropicalSemiring trop;
+    PeriodSemiring<TropicalSemiring> tropt(trop, day);
+    // Hourly rates: hiring a contractor with a given skill costs k.
+    KRelation<PeriodSemiring<TropicalSemiring>> rates(tropt);
+    auto offer = [&](const char* agency, const char* skill, int64_t cost,
+                     int64_t b, int64_t e) {
+      rates.Add({Value::String(agency), Value::String(skill)},
+                TemporalElement<TropicalSemiring>(Interval(b, e), cost));
+    };
+    offer("AgencyA", "SP", 120, 0, 12);
+    offer("AgencyA", "SP", 150, 12, 24);  // evening surcharge
+    offer("AgencyB", "SP", 135, 6, 24);
+    offer("AgencyB", "NS", 80, 0, 24);
+
+    KCatalog<PeriodSemiring<TropicalSemiring>> catalog;
+    catalog.emplace("rates", rates);
+    // Cheapest way to staff each skill at every time: projection adds
+    // alternatives with min (tropical +).
+    PlanPtr q = MakeProject(
+        MakeScan("rates", Schema::FromNames({"agency", "skill"})),
+        {Col(1, "skill")}, {Column("skill")});
+    auto result = Evaluate(q, tropt, catalog);
+    std::printf("\nCheapest hourly rate per skill over the day:\n");
+    for (const auto& [tuple, annotation] : result.tuples()) {
+      std::printf("  %-3s : %s\n", tuple[0].ToString().c_str(),
+                  tropt.ToString(annotation).c_str());
+    }
+    // Reading: SP costs 120 until noon (AgencyA), then 135 (AgencyB
+    // beats the surcharge) -- the crossover appears as an annotation
+    // changepoint.
+  }
+
+  // ---- Timeslice is a homomorphism: ask "as of 9am". -----------------------
+  std::printf(
+      "\nBoth annotations slice consistently at any instant (tau_T is a\n"
+      "semiring homomorphism, Thm 6.3), e.g. evaluate-then-slice equals\n"
+      "slice-then-evaluate -- the framework's snapshot-reducibility.\n");
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Query evaluation over K-relations: interprets the same logical plans
+// the engine executes, but with semiring annotation semantics
+// (Def 4.1).  Because PeriodSemiring<K> satisfies the Semiring concept,
+// the very same interpreter evaluates queries over the *logical model*
+// (period K-relations); aggregation over N^T uses the snapshot-wise
+// Def 7.1, and over plain N the bag aggregation -- dispatched with
+// `if constexpr`.
+//
+// This gives executable versions of all three levels of the paper's
+// Figure 2:
+//   abstract model  = EvaluateSnapshots (per-snapshot evaluation),
+//   logical model   = Evaluate over KRelation<PeriodSemiring<K>>,
+//   implementation  = rewrite/ + engine/.
+#ifndef PERIODK_ANNOTATED_EVALUATE_H_
+#define PERIODK_ANNOTATED_EVALUATE_H_
+
+#include <map>
+#include <string>
+#include <type_traits>
+
+#include "annotated/k_relation_ops.h"
+#include "annotated/period_k_relation.h"
+#include "annotated/snapshot_k_relation.h"
+#include "common/status.h"
+#include "ra/plan.h"
+
+namespace periodk {
+
+template <Semiring K>
+using KCatalog = std::map<std::string, KRelation<K>>;
+
+namespace internal {
+
+template <Semiring K>
+constexpr bool kIsBag = std::is_same_v<K, NatSemiring>;
+template <Semiring K>
+constexpr bool kIsPeriodBag = std::is_same_v<K, PeriodSemiring<NatSemiring>>;
+
+/// Columns of aggregate argument expressions; Def 7.1-style aggregation
+/// operates on column indices, so arguments are normalized to columns by
+/// pre-projection.
+template <Semiring K>
+KRelation<K> ProjectForAggregate(const K& k, const KRelation<K>& input,
+                                 const std::vector<ExprPtr>& groups,
+                                 const std::vector<AggExpr>& aggs,
+                                 std::vector<int>* group_cols,
+                                 std::vector<BagAggSpec>* specs) {
+  std::vector<ExprPtr> exprs = groups;
+  for (const AggExpr& a : aggs) {
+    BagAggSpec spec;
+    spec.func = a.func;
+    if (a.func != AggFunc::kCountStar) {
+      spec.column = static_cast<int>(exprs.size());
+      exprs.push_back(a.arg);
+    }
+    specs->push_back(spec);
+  }
+  for (size_t g = 0; g < groups.size(); ++g) {
+    group_cols->push_back(static_cast<int>(g));
+  }
+  (void)k;
+  return Project(input, [&exprs](const Row& t) {
+    Row out;
+    out.reserve(exprs.size());
+    for (const ExprPtr& e : exprs) out.push_back(e->Eval(t));
+    return out;
+  });
+}
+
+}  // namespace internal
+
+/// Evaluates a plan over a K-catalog.  RA+ works for every semiring;
+/// difference requires an m-semiring; aggregation and distinct require
+/// N (bag) or N^T (period bag, Def 7.1) annotations.  Constant relations
+/// are annotated 1_K per duplicate row.
+template <Semiring K>
+KRelation<K> Evaluate(const PlanPtr& plan, const K& k,
+                      const KCatalog<K>& catalog) {
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      auto it = catalog.find(plan->table);
+      if (it == catalog.end()) {
+        throw EngineError("unknown K-relation: " + plan->table);
+      }
+      return it->second;
+    }
+    case PlanKind::kConstant: {
+      KRelation<K> out(k);
+      for (const Row& row : plan->constant->rows()) {
+        out.Add(row, k.One());
+      }
+      return out;
+    }
+    case PlanKind::kSelect: {
+      const ExprPtr& pred = plan->predicate;
+      return Select(Evaluate(plan->left, k, catalog),
+                    [&pred](const Row& t) { return pred->EvalBool(t); });
+    }
+    case PlanKind::kProject: {
+      const std::vector<ExprPtr>& exprs = plan->exprs;
+      return Project(Evaluate(plan->left, k, catalog),
+                     [&exprs](const Row& t) {
+                       Row out;
+                       out.reserve(exprs.size());
+                       for (const ExprPtr& e : exprs) {
+                         out.push_back(e->Eval(t));
+                       }
+                       return out;
+                     });
+    }
+    case PlanKind::kJoin: {
+      const ExprPtr& pred = plan->predicate;
+      return Join(Evaluate(plan->left, k, catalog),
+                  Evaluate(plan->right, k, catalog),
+                  [&pred](const Row& t) { return pred->EvalBool(t); });
+    }
+    case PlanKind::kUnionAll:
+      return Union(Evaluate(plan->left, k, catalog),
+                   Evaluate(plan->right, k, catalog));
+    case PlanKind::kExceptAll: {
+      if constexpr (MSemiring<K>) {
+        return Monus(Evaluate(plan->left, k, catalog),
+                     Evaluate(plan->right, k, catalog));
+      } else {
+        throw EngineError("difference requires an m-semiring");
+      }
+    }
+    case PlanKind::kAggregate: {
+      std::vector<int> group_cols;
+      std::vector<BagAggSpec> specs;
+      if constexpr (internal::kIsBag<K>) {
+        KRelation<K> normalized = internal::ProjectForAggregate(
+            k, Evaluate(plan->left, k, catalog), plan->exprs, plan->aggs,
+            &group_cols, &specs);
+        return BagAggregate(normalized, group_cols, specs);
+      } else if constexpr (internal::kIsPeriodBag<K>) {
+        KRelation<K> normalized = internal::ProjectForAggregate(
+            k, Evaluate(plan->left, k, catalog), plan->exprs, plan->aggs,
+            &group_cols, &specs);
+        return SnapshotAggregate(normalized, group_cols, specs);
+      } else {
+        throw EngineError("aggregation requires bag (N or N^T) annotations");
+      }
+    }
+    case PlanKind::kDistinct: {
+      if constexpr (internal::kIsBag<K>) {
+        return BagDistinct(Evaluate(plan->left, k, catalog));
+      } else if constexpr (internal::kIsPeriodBag<K>) {
+        // Snapshot DISTINCT over N^T: clamp each multiplicity to 1,
+        // re-coalescing since neighbouring entries may merge.
+        KRelation<K> input = Evaluate(plan->left, k, catalog);
+        KRelation<K> out(k);
+        for (const auto& [tuple, te] : input.tuples()) {
+          TemporalElement<NatSemiring> clamped;
+          for (const auto& [interval, mult] : te.entries()) {
+            clamped.Add(interval, mult > 0 ? 1 : 0);
+          }
+          out.Set(tuple, Coalesce(k.base(), clamped));
+        }
+        return out;
+      } else {
+        throw EngineError("distinct requires bag (N or N^T) annotations");
+      }
+    }
+    default:
+      throw EngineError(
+          std::string("operator not supported over K-relations: ") +
+          PlanKindName(plan->kind));
+  }
+}
+
+template <Semiring K>
+using SnapshotCatalog = std::map<std::string, SnapshotKRelation<K>>;
+
+/// The abstract model's snapshot semantics (Def 4.4): evaluates the
+/// plan independently at every time point.
+template <Semiring K>
+SnapshotKRelation<K> EvaluateSnapshots(const PlanPtr& plan, const K& k,
+                                       const SnapshotCatalog<K>& catalog,
+                                       const TimeDomain& domain) {
+  SnapshotKRelation<K> out(k, domain);
+  for (TimePoint t = domain.tmin; t < domain.tmax; ++t) {
+    KCatalog<K> sliced;
+    for (const auto& [name, rel] : catalog) {
+      sliced.emplace(name, rel.At(t));
+    }
+    out.MutableAt(t) = Evaluate(plan, k, sliced);
+  }
+  return out;
+}
+
+}  // namespace periodk
+
+#endif  // PERIODK_ANNOTATED_EVALUATE_H_

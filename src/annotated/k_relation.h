@@ -1,0 +1,90 @@
+// K-relations (paper Section 4.1, after Green et al.): relations whose
+// tuples are annotated with elements of a commutative semiring K.
+// Tuples annotated with 0_K are not in the relation; only finitely many
+// tuples have non-zero annotations.
+//
+// Because PeriodSemiring<K> satisfies the same Semiring concept, a
+// KRelation<PeriodSemiring<K>> *is* the paper's period K-relation
+// (logical model) and shares all the generic algebra below.
+#ifndef PERIODK_ANNOTATED_K_RELATION_H_
+#define PERIODK_ANNOTATED_K_RELATION_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/str_util.h"
+#include "common/value.h"
+#include "semiring/semiring.h"
+
+namespace periodk {
+
+template <Semiring K>
+class KRelation {
+ public:
+  using Annot = typename K::Value;
+  using TupleMap = std::map<Row, Annot, RowLess>;
+
+  explicit KRelation(K semiring) : semiring_(std::move(semiring)) {}
+
+  const K& semiring() const { return semiring_; }
+
+  /// R(t) with the convention that absent tuples map to 0_K.
+  Annot At(const Row& t) const {
+    auto it = tuples_.find(t);
+    return it == tuples_.end() ? semiring_.Zero() : it->second;
+  }
+
+  bool Contains(const Row& t) const { return tuples_.count(t) > 0; }
+
+  /// R(t) += v; erases the tuple if the sum is 0_K.
+  void Add(const Row& t, const Annot& v) {
+    if (IsZero(semiring_, v)) return;
+    auto it = tuples_.find(t);
+    if (it == tuples_.end()) {
+      tuples_.emplace(t, v);
+      return;
+    }
+    it->second = semiring_.Plus(it->second, v);
+    if (IsZero(semiring_, it->second)) tuples_.erase(it);
+  }
+
+  /// R(t) = v (overwrite); erases the tuple if v is 0_K.
+  void Set(const Row& t, const Annot& v) {
+    if (IsZero(semiring_, v)) {
+      tuples_.erase(t);
+    } else {
+      tuples_.insert_or_assign(t, v);
+    }
+  }
+
+  const TupleMap& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  bool Equal(const KRelation& other) const {
+    if (tuples_.size() != other.tuples_.size()) return false;
+    auto it = tuples_.begin(), jt = other.tuples_.begin();
+    for (; it != tuples_.end(); ++it, ++jt) {
+      if (CompareRows(it->first, jt->first) != 0) return false;
+      if (!semiring_.Equal(it->second, jt->second)) return false;
+    }
+    return true;
+  }
+
+  /// One "tuple -> annotation" line per tuple, in row order.
+  std::string ToString() const {
+    return JoinMapped(tuples_, "\n", [&](const auto& entry) {
+      return StrCat(RowToString(entry.first), " -> ",
+                    semiring_.ToString(entry.second));
+    });
+  }
+
+ private:
+  K semiring_;
+  TupleMap tuples_;
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_ANNOTATED_K_RELATION_H_

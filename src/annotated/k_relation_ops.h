@@ -1,0 +1,103 @@
+// Positive relational algebra over K-relations (paper Def 4.1) plus the
+// monus-based difference for m-semirings (Section 7.1) and bag
+// aggregation for N-relations (used snapshot-wise by Def 7.1).
+//
+// Selection multiplies annotations with the {0_K, 1_K}-valued predicate;
+// projection sums the annotations of all input tuples mapped to the same
+// output tuple; join multiplies the annotations of join partners; union
+// adds annotations.
+#ifndef PERIODK_ANNOTATED_K_RELATION_OPS_H_
+#define PERIODK_ANNOTATED_K_RELATION_OPS_H_
+
+#include <optional>
+#include <vector>
+
+#include "annotated/k_relation.h"
+#include "engine/agg.h"
+#include "semiring/nat_semiring.h"
+
+namespace periodk {
+
+/// sigma_theta(R)(t) = R(t) * theta(t).
+template <Semiring K, typename Pred>
+KRelation<K> Select(const KRelation<K>& r, Pred pred) {
+  KRelation<K> out(r.semiring());
+  for (const auto& [t, v] : r.tuples()) {
+    if (pred(t)) out.Add(t, v);
+  }
+  return out;
+}
+
+/// Pi_A(R)(t) = sum over u with u.A = t of R(u); `fn` maps each input
+/// tuple to its projection.
+template <Semiring K, typename Fn>
+KRelation<K> Project(const KRelation<K>& r, Fn fn) {
+  KRelation<K> out(r.semiring());
+  for (const auto& [t, v] : r.tuples()) {
+    out.Add(fn(t), v);
+  }
+  return out;
+}
+
+/// (R join_theta S)(t ++ u) = R(t) * S(u) * theta(t ++ u).  The
+/// predicate receives the concatenated tuple.
+template <Semiring K, typename Pred>
+KRelation<K> Join(const KRelation<K>& r, const KRelation<K>& s, Pred pred) {
+  KRelation<K> out(r.semiring());
+  for (const auto& [t, vt] : r.tuples()) {
+    for (const auto& [u, vu] : s.tuples()) {
+      Row combined = t;
+      combined.insert(combined.end(), u.begin(), u.end());
+      if (pred(combined)) {
+        out.Add(combined, r.semiring().Times(vt, vu));
+      }
+    }
+  }
+  return out;
+}
+
+/// (R union S)(t) = R(t) + S(t).
+template <Semiring K>
+KRelation<K> Union(const KRelation<K>& r, const KRelation<K>& s) {
+  KRelation<K> out = r;
+  for (const auto& [t, v] : s.tuples()) {
+    out.Add(t, v);
+  }
+  return out;
+}
+
+/// (R - S)(t) = R(t) monus S(t) (Geerts & Poggi difference; EXCEPT ALL
+/// for K = N, set difference for K = B).
+template <MSemiring K>
+KRelation<K> Monus(const KRelation<K>& r, const KRelation<K>& s) {
+  KRelation<K> out(r.semiring());
+  for (const auto& [t, v] : r.tuples()) {
+    out.Set(t, r.semiring().Monus(v, s.At(t)));
+  }
+  return out;
+}
+
+/// One aggregation function over one column; column is ignored for
+/// count(*).
+struct BagAggSpec {
+  AggFunc func = AggFunc::kCountStar;
+  int column = -1;
+};
+
+/// SQL bag aggregation over an N-relation: groups on `group_cols`,
+/// computes all `aggs` per group, and annotates each result tuple
+/// (group values ++ aggregate values) with multiplicity 1.  With an
+/// empty group list the aggregation *always* returns exactly one row --
+/// for empty input count yields 0 and sum/avg/min/max yield NULL -- which
+/// is precisely the behaviour whose absence over temporal gaps is the
+/// paper's aggregation gap (AG) bug.
+KRelation<NatSemiring> BagAggregate(const KRelation<NatSemiring>& r,
+                                    const std::vector<int>& group_cols,
+                                    const std::vector<BagAggSpec>& aggs);
+
+/// Bag distinct: every present tuple gets multiplicity 1 (SQL DISTINCT).
+KRelation<NatSemiring> BagDistinct(const KRelation<NatSemiring>& r);
+
+}  // namespace periodk
+
+#endif  // PERIODK_ANNOTATED_K_RELATION_OPS_H_

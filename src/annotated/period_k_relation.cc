@@ -1,0 +1,25 @@
+#include "annotated/period_k_relation.h"
+
+namespace periodk {
+
+PeriodKRelation<NatSemiring> SnapshotAggregate(
+    const PeriodKRelation<NatSemiring>& r,
+    const std::vector<int>& group_cols, const std::vector<BagAggSpec>& aggs) {
+  const PeriodSemiring<NatSemiring>& nt = r.semiring();
+  const TimeDomain& dom = nt.domain();
+  std::map<Row, TemporalElement<NatSemiring>, RowLess> raw;
+  for (TimePoint t = dom.tmin; t < dom.tmax; ++t) {
+    KRelation<NatSemiring> snapshot = TimesliceRelation(r, t);
+    KRelation<NatSemiring> agg = BagAggregate(snapshot, group_cols, aggs);
+    for (const auto& [tuple, mult] : agg.tuples()) {
+      raw[tuple].Add(Interval(t, t + 1), mult);
+    }
+  }
+  PeriodKRelation<NatSemiring> out(nt);
+  for (auto& [tuple, te] : raw) {
+    out.Set(tuple, Coalesce(nt.base(), te));
+  }
+  return out;
+}
+
+}  // namespace periodk

@@ -1,0 +1,87 @@
+// Period K-relations (paper Section 6): the *logical model*.  A period
+// K-relation is a K^T-relation -- a K-relation over the period semiring
+// -- i.e. every tuple is annotated with a coalesced temporal K-element.
+//
+// This header provides:
+//  * the PeriodKRelation<K> alias,
+//  * ENC_K / ENC_K^{-1} between snapshot K-relations and period
+//    K-relations (Def 6.3; bijective by Lemma 6.4),
+//  * the timeslice operator for K^T-relations (Def 6.2), a semiring
+//    homomorphism applied tuple-wise (Thm 6.3),
+//  * snapshot-wise aggregation over N^T-relations (Def 7.1).
+#ifndef PERIODK_ANNOTATED_PERIOD_K_RELATION_H_
+#define PERIODK_ANNOTATED_PERIOD_K_RELATION_H_
+
+#include <map>
+#include <vector>
+
+#include "annotated/k_relation.h"
+#include "annotated/k_relation_ops.h"
+#include "annotated/snapshot_k_relation.h"
+#include "temporal/period_semiring.h"
+
+namespace periodk {
+
+template <Semiring K>
+using PeriodKRelation = KRelation<PeriodSemiring<K>>;
+
+/// ENC_K (Def 6.3): merges all occurrences of a tuple across snapshots
+/// into one tuple annotated with the coalesced temporal element built
+/// from singleton intervals [T, T+1) -> R(T)(t).
+template <Semiring K>
+PeriodKRelation<K> EncodeSnapshots(const SnapshotKRelation<K>& r) {
+  const K& k = r.semiring();
+  PeriodSemiring<K> kt(k, r.domain());
+  std::map<Row, TemporalElement<K>, RowLess> raw;
+  for (TimePoint t = r.domain().tmin; t < r.domain().tmax; ++t) {
+    for (const auto& [tuple, annot] : r.At(t).tuples()) {
+      raw[tuple].Add(Interval(t, t + 1), annot);
+    }
+  }
+  PeriodKRelation<K> out(kt);
+  for (auto& [tuple, te] : raw) {
+    out.Set(tuple, Coalesce(k, te));
+  }
+  return out;
+}
+
+/// ENC_K^{-1}: recovers the snapshot K-relation by slicing every tuple's
+/// temporal element at every time point (Lemma 6.5: ENC preserves
+/// snapshots, so Decode(Encode(R)) == R).
+template <Semiring K>
+SnapshotKRelation<K> DecodeSnapshots(const PeriodKRelation<K>& r) {
+  const PeriodSemiring<K>& kt = r.semiring();
+  SnapshotKRelation<K> out(kt.base(), kt.domain());
+  for (const auto& [tuple, te] : r.tuples()) {
+    for (const auto& [interval, annot] : te.entries()) {
+      out.AddDuring(tuple, interval, annot);
+    }
+  }
+  return out;
+}
+
+/// Timeslice for K^T-relations (Def 6.2): annotates each tuple with
+/// tau_T of its temporal element (dropping tuples that vanish at T).
+template <Semiring K>
+KRelation<K> TimesliceRelation(const PeriodKRelation<K>& r, TimePoint t) {
+  const PeriodSemiring<K>& kt = r.semiring();
+  KRelation<K> out(kt.base());
+  for (const auto& [tuple, te] : r.tuples()) {
+    out.Add(tuple, kt.TimesliceAt(te, t));
+  }
+  return out;
+}
+
+/// Snapshot aggregation over N^T-relations (Def 7.1): for every time
+/// point T, aggregate the snapshot at T under bag semantics; each result
+/// tuple is annotated with the coalesced indicator element of the time
+/// points at which it is produced.  This is the definitional (pointwise)
+/// evaluation used as a correctness oracle; the efficient interval-wise
+/// evaluation lives in the rewrite layer (split operator).
+PeriodKRelation<NatSemiring> SnapshotAggregate(
+    const PeriodKRelation<NatSemiring>& r,
+    const std::vector<int>& group_cols, const std::vector<BagAggSpec>& aggs);
+
+}  // namespace periodk
+
+#endif  // PERIODK_ANNOTATED_PERIOD_K_RELATION_H_

@@ -1,0 +1,74 @@
+// Snapshot K-relations (paper Def 4.3): the *abstract model*.  A snapshot
+// K-relation maps every time point of a finite time domain to a
+// K-relation; queries are evaluated per snapshot (Def 4.4), which makes
+// the model snapshot-reducible by construction.
+#ifndef PERIODK_ANNOTATED_SNAPSHOT_K_RELATION_H_
+#define PERIODK_ANNOTATED_SNAPSHOT_K_RELATION_H_
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "annotated/k_relation.h"
+#include "temporal/interval.h"
+
+namespace periodk {
+
+template <Semiring K>
+class SnapshotKRelation {
+ public:
+  SnapshotKRelation(K semiring, TimeDomain domain)
+      : semiring_(std::move(semiring)),
+        domain_(domain),
+        snapshots_(static_cast<size_t>(domain.size()),
+                   KRelation<K>(semiring_)) {}
+
+  const K& semiring() const { return semiring_; }
+  const TimeDomain& domain() const { return domain_; }
+
+  /// The timeslice operator tau_T(R) = R(T).
+  const KRelation<K>& At(TimePoint t) const {
+    assert(domain_.Contains(t));
+    return snapshots_[static_cast<size_t>(t - domain_.tmin)];
+  }
+
+  KRelation<K>& MutableAt(TimePoint t) {
+    assert(domain_.Contains(t));
+    return snapshots_[static_cast<size_t>(t - domain_.tmin)];
+  }
+
+  /// Convenience: asserts tuple `t` with annotation `v` into every
+  /// snapshot within `valid` (how period tables are loaded in tests).
+  void AddDuring(const Row& t, const Interval& valid,
+                 const typename K::Value& v) {
+    for (TimePoint p = valid.begin; p < valid.end; ++p) {
+      MutableAt(p).Add(t, v);
+    }
+  }
+
+  bool Equal(const SnapshotKRelation& other) const {
+    if (!(domain_ == other.domain_)) return false;
+    for (size_t i = 0; i < snapshots_.size(); ++i) {
+      if (!snapshots_[i].Equal(other.snapshots_[i])) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const {
+    std::string out;
+    for (TimePoint t = domain_.tmin; t < domain_.tmax; ++t) {
+      if (At(t).empty()) continue;
+      out += StrCat(t, " ->\n", At(t).ToString(), "\n");
+    }
+    return out;
+  }
+
+ private:
+  K semiring_;
+  TimeDomain domain_;
+  std::vector<KRelation<K>> snapshots_;
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_ANNOTATED_SNAPSHOT_K_RELATION_H_

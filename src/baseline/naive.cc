@@ -1,0 +1,86 @@
+#include "baseline/naive.h"
+
+#include <map>
+#include <set>
+
+#include "common/status.h"
+#include "engine/temporal_ops.h"
+#include "semiring/nat_semiring.h"
+#include "temporal/temporal_element.h"
+
+namespace periodk {
+
+namespace {
+
+void CollectScanTables(const PlanPtr& plan, std::set<std::string>* out) {
+  if (plan == nullptr) return;
+  if (plan->kind == PlanKind::kScan) out->insert(plan->table);
+  CollectScanTables(plan->left, out);
+  CollectScanTables(plan->right, out);
+}
+
+}  // namespace
+
+Relation NaiveSnapshotEval(const PlanPtr& query, const Catalog& catalog,
+                           const TimeDomain& domain) {
+  std::set<std::string> tables;
+  CollectScanTables(query, &tables);
+
+  NatSemiring n;
+  std::map<Row, TemporalElement<NatSemiring>, RowLess> raw;
+  // Track open runs of constant multiplicity to keep the intermediate
+  // representation linear in the number of *changes*, not time points.
+  std::map<Row, std::pair<TimePoint, int64_t>, RowLess> open;
+
+  auto close_run = [&](const Row& row, TimePoint start, int64_t count,
+                       TimePoint end) {
+    if (count > 0 && start < end) {
+      raw[row].Add(Interval(start, end), count);
+    }
+  };
+
+  for (TimePoint t = domain.tmin; t < domain.tmax; ++t) {
+    Catalog sliced;
+    for (const std::string& name : tables) {
+      sliced.Put(name, TimesliceEncoded(catalog.Get(name), t));
+    }
+    Relation snapshot = Execute(query, sliced);
+    std::map<Row, int64_t, RowLess> counts;
+    for (const Row& row : snapshot.rows()) ++counts[row];
+    // Close runs that ended or changed multiplicity; open new ones.
+    for (auto it = open.begin(); it != open.end();) {
+      auto ct = counts.find(it->first);
+      if (ct == counts.end() || ct->second != it->second.second) {
+        close_run(it->first, it->second.first, it->second.second, t);
+        it = open.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const auto& [row, count] : counts) {
+      open.try_emplace(row, std::make_pair(t, count));
+    }
+  }
+  for (const auto& [row, run] : open) {
+    close_run(row, run.first, run.second, domain.tmax);
+  }
+
+  Schema schema = query->schema;
+  schema.Append(Column("a_begin"));
+  schema.Append(Column("a_end"));
+  Relation out(std::move(schema));
+  for (auto& [row, te] : raw) {
+    TemporalElement<NatSemiring> coalesced = Coalesce(n, te);
+    for (const auto& [interval, mult] : coalesced.entries()) {
+      for (int64_t m = 0; m < mult; ++m) {
+        Row r = row;
+        r.push_back(Value::Int(interval.begin));
+        r.push_back(Value::Int(interval.end));
+        out.AddRow(std::move(r));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace periodk

@@ -1,0 +1,28 @@
+// Naive snapshot-by-snapshot evaluation: the executable form of the
+// paper's *abstract model* (Def 4.4) and the correctness oracle for
+// everything else.  For every time point T of the domain the period
+// tables are timesliced, the non-temporal query is evaluated under bag
+// semantics, and the per-snapshot results are folded back into a
+// coalesced period encoding.  This is also how SQL/TP-style approaches
+// evaluate snapshot queries (one subquery per snapshot group), which the
+// paper points out is data-dependent and slow -- reproduced as such by
+// the benchmarks.
+#ifndef PERIODK_BASELINE_NAIVE_H_
+#define PERIODK_BASELINE_NAIVE_H_
+
+#include "engine/executor.h"
+#include "ra/plan.h"
+#include "temporal/interval.h"
+
+namespace periodk {
+
+/// Evaluates `query` (expressed over snapshot schemas) under snapshot
+/// semantics by brute force.  `catalog` holds the PERIODENC-encoded
+/// period tables under the names used by the query's Scan nodes.
+/// Returns the coalesced period encoding of the result.
+Relation NaiveSnapshotEval(const PlanPtr& query, const Catalog& catalog,
+                           const TimeDomain& domain);
+
+}  // namespace periodk
+
+#endif  // PERIODK_BASELINE_NAIVE_H_

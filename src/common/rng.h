@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation for data generators and
+// property tests.  Every generator in the repository is seeded so that
+// datasets, workloads and randomized tests are exactly reproducible.
+#ifndef PERIODK_COMMON_RNG_H_
+#define PERIODK_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace periodk {
+
+/// splitmix64: tiny, fast, high-quality 64-bit PRNG.  Not for
+/// cryptographic use.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_COMMON_RNG_H_

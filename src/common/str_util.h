@@ -1,0 +1,49 @@
+// Small string helpers (the toolchain lacks std::format).
+#ifndef PERIODK_COMMON_STR_UTIL_H_
+#define PERIODK_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace periodk {
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Joins the elements of a container with a separator, using ToString()
+/// on elements when available via the functor.
+template <typename Container, typename Fn>
+std::string JoinMapped(const Container& items, const std::string& sep, Fn fn) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out += sep;
+    first = false;
+    out += fn(item);
+  }
+  return out;
+}
+
+inline std::string Join(const std::vector<std::string>& items,
+                        const std::string& sep) {
+  return JoinMapped(items, sep, [](const std::string& s) { return s; });
+}
+
+/// ASCII lowercase copy.
+std::string ToLower(const std::string& s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// SQL LIKE matching with % (any sequence) and _ (single char).
+bool SqlLikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace periodk
+
+#endif  // PERIODK_COMMON_STR_UTIL_H_

@@ -1,0 +1,33 @@
+// Valid-time TPC-H generator: the stand-in for TPC-BiH (Kaufmann et
+// al.) used in the paper's Section 10.4 experiment (substitution
+// documented in DESIGN.md).  Generates the eight TPC-H tables as period
+// relations: dimension rows carry a small version history (account
+// balances and quantities change over time), orders/lineitems are valid
+// from their creation until a generated end-of-life.  Dates are integer
+// day numbers in the synthetic 365-day calendar anchored at 1992 (used
+// by the year() SQL function).  Deterministic given the seed.
+#ifndef PERIODK_DATAGEN_TPCBIH_H_
+#define PERIODK_DATAGEN_TPCBIH_H_
+
+#include <cstdint>
+
+#include "middleware/temporal_db.h"
+
+namespace periodk {
+
+struct TpcBihConfig {
+  /// Fraction of the official TPC-H cardinalities (SF1 = 1.0 would be
+  /// 6M lineitems; the default keeps benchmarks laptop-scale).
+  double scale_factor = 0.01;
+  uint64_t seed = 0x79c'b1ff;
+  /// Seven years of days (1992-01-01 .. 1998-12-31), like TPC-H.
+  TimeDomain domain{0, 2556};
+};
+
+/// Creates and fills: region, nation, customer, supplier, part,
+/// partsupp, orders, lineitem (all period tables on vt_begin/vt_end).
+Status LoadTpcBih(TemporalDB* db, const TpcBihConfig& config);
+
+}  // namespace periodk
+
+#endif  // PERIODK_DATAGEN_TPCBIH_H_

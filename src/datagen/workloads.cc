@@ -1,0 +1,204 @@
+#include "datagen/workloads.h"
+
+namespace periodk {
+
+const std::vector<WorkloadQuery>& EmployeeWorkload() {
+  static const std::vector<WorkloadQuery> kQueries = {
+      // join-1: salary and department for each employee.
+      {"join-1",
+       "SEQ VT (SELECT d.emp_no, d.dept_no, s.salary "
+       "FROM dept_emp d, salaries s WHERE d.emp_no = s.emp_no)",
+       ""},
+      // join-2: salary and title for each employee.
+      {"join-2",
+       "SEQ VT (SELECT s.emp_no, s.salary, t.title "
+       "FROM salaries s, titles t WHERE s.emp_no = t.emp_no)",
+       ""},
+      // join-3: departments whose manager earns more than $70,000.
+      {"join-3",
+       "SEQ VT (SELECT m.dept_no FROM dept_manager m, salaries s "
+       "WHERE m.emp_no = s.emp_no AND s.salary > 70000)",
+       ""},
+      // join-4: all information for each manager.
+      {"join-4",
+       "SEQ VT (SELECT m.dept_no, e.first_name, e.last_name, s.salary "
+       "FROM dept_manager m, salaries s, employees e "
+       "WHERE m.emp_no = s.emp_no AND m.emp_no = e.emp_no)",
+       ""},
+      // agg-1: average salary per department.
+      {"agg-1",
+       "SEQ VT (SELECT d.dept_no, avg(s.salary) AS avg_sal "
+       "FROM dept_emp d, salaries s WHERE d.emp_no = s.emp_no "
+       "GROUP BY d.dept_no)",
+       ""},
+      // agg-2: average salary of managers (global aggregation -> AG).
+      {"agg-2",
+       "SEQ VT (SELECT avg(s.salary) AS avg_sal "
+       "FROM dept_manager m, salaries s WHERE m.emp_no = s.emp_no)",
+       "AG"},
+      // agg-3: number of departments with more than 21 employees
+      // (two nested aggregations -> AG).
+      {"agg-3",
+       "SEQ VT (SELECT count(*) AS cnt FROM "
+       "(SELECT d.dept_no, count(*) AS c FROM dept_emp d "
+       "GROUP BY d.dept_no) x WHERE x.c > 21)",
+       "AG"},
+      // agg-join: employees with the highest salary in their department.
+      {"agg-join",
+       "SEQ VT (SELECT e.first_name, d.dept_no "
+       "FROM employees e, dept_emp d, salaries s, "
+       "(SELECT d2.dept_no AS dn, max(s2.salary) AS msal "
+       " FROM dept_emp d2, salaries s2 WHERE d2.emp_no = s2.emp_no "
+       " GROUP BY d2.dept_no) m "
+       "WHERE e.emp_no = d.emp_no AND d.emp_no = s.emp_no "
+       "AND d.dept_no = m.dn AND s.salary = m.msal)",
+       ""},
+      // diff-1: employees that are not managers (bag difference -> BD).
+      {"diff-1",
+       "SEQ VT (SELECT emp_no FROM employees EXCEPT ALL "
+       "SELECT emp_no FROM dept_manager)",
+       "BD"},
+      // diff-2: salaries of employees that are not managers.
+      {"diff-2",
+       "SEQ VT (SELECT emp_no, salary FROM salaries EXCEPT ALL "
+       "SELECT s.emp_no, s.salary FROM salaries s, dept_manager m "
+       "WHERE s.emp_no = m.emp_no)",
+       "BD"},
+  };
+  return kQueries;
+}
+
+const std::vector<WorkloadQuery>& TpcBihWorkload() {
+  static const std::vector<WorkloadQuery> kQueries = {
+      {"Q1",
+       "SEQ VT (SELECT l_returnflag, l_linestatus, "
+       "sum(l_quantity) AS sum_qty, sum(l_extendedprice) AS sum_base_price, "
+       "sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+       "sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, "
+       "avg(l_quantity) AS avg_qty, avg(l_extendedprice) AS avg_price, "
+       "avg(l_discount) AS avg_disc, count(*) AS count_order "
+       "FROM lineitem WHERE l_shipdate <= 2400 "
+       "GROUP BY l_returnflag, l_linestatus)",
+       ""},
+      {"Q3",
+       "SEQ VT (SELECT l_orderkey, "
+       "sum(l_extendedprice * (1 - l_discount)) AS revenue, "
+       "o_orderdate, o_shippriority "
+       "FROM customer, orders, lineitem "
+       "WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey "
+       "AND l_orderkey = o_orderkey AND o_orderdate < 1180 "
+       "AND l_shipdate > 1180 "
+       "GROUP BY l_orderkey, o_orderdate, o_shippriority)",
+       ""},
+      {"Q5",
+       "SEQ VT (SELECT n_name, "
+       "sum(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM customer, orders, lineitem, supplier, nation, region "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+       "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+       "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+       "AND r_name = 'ASIA' AND o_orderdate >= 730 AND o_orderdate < 1095 "
+       "GROUP BY n_name)",
+       ""},
+      {"Q6",
+       "SEQ VT (SELECT sum(l_extendedprice * l_discount) AS revenue "
+       "FROM lineitem WHERE l_shipdate >= 730 AND l_shipdate < 1095 "
+       "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24)",
+       "AG"},
+      {"Q7",
+       "SEQ VT (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, "
+       "year(l_shipdate) AS l_year, "
+       "sum(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM supplier, lineitem, orders, customer, nation n1, nation n2 "
+       "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey "
+       "AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey "
+       "AND c_nationkey = n2.n_nationkey "
+       "AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY') "
+       " OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')) "
+       "AND l_shipdate BETWEEN 365 AND 1095 "
+       "GROUP BY n1.n_name, n2.n_name, year(l_shipdate))",
+       ""},
+      {"Q8",
+       "SEQ VT (SELECT year(o_orderdate) AS o_year, "
+       "sum(CASE WHEN n2.n_name = 'BRAZIL' "
+       "THEN l_extendedprice * (1 - l_discount) ELSE 0 END) / "
+       "sum(l_extendedprice * (1 - l_discount)) AS mkt_share "
+       "FROM part, supplier, lineitem, orders, customer, "
+       "nation n1, nation n2, region "
+       "WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey "
+       "AND l_orderkey = o_orderkey AND o_custkey = c_custkey "
+       "AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey "
+       "AND r_name = 'AMERICA' AND s_nationkey = n2.n_nationkey "
+       "AND o_orderdate BETWEEN 365 AND 1095 "
+       "AND p_type = 'ECONOMY ANODIZED STEEL' "
+       "GROUP BY year(o_orderdate))",
+       ""},
+      {"Q9",
+       "SEQ VT (SELECT n_name AS nation, year(o_orderdate) AS o_year, "
+       "sum(l_extendedprice * (1 - l_discount) "
+       " - ps_supplycost * l_quantity) AS sum_profit "
+       "FROM part, supplier, lineitem, partsupp, orders, nation "
+       "WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey "
+       "AND ps_partkey = l_partkey AND p_partkey = l_partkey "
+       "AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey "
+       "AND p_name LIKE '%green%' "
+       "GROUP BY n_name, year(o_orderdate))",
+       ""},
+      {"Q10",
+       "SEQ VT (SELECT c_custkey, c_name, "
+       "sum(l_extendedprice * (1 - l_discount)) AS revenue, "
+       "c_acctbal, n_name "
+       "FROM customer, orders, lineitem, nation "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+       "AND o_orderdate >= 900 AND o_orderdate < 990 "
+       "AND l_returnflag = 'R' AND c_nationkey = n_nationkey "
+       "GROUP BY c_custkey, c_name, c_acctbal, n_name)",
+       ""},
+      {"Q12",
+       "SEQ VT (SELECT l_shipmode, "
+       "sum(CASE WHEN o_orderpriority = '1-URGENT' "
+       " OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) "
+       " AS high_line_count, "
+       "sum(CASE WHEN o_orderpriority <> '1-URGENT' "
+       " AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) "
+       " AS low_line_count "
+       "FROM orders, lineitem "
+       "WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP') "
+       "AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate "
+       "AND l_receiptdate >= 730 AND l_receiptdate < 1095 "
+       "GROUP BY l_shipmode)",
+       ""},
+      {"Q14",
+       "SEQ VT (SELECT 100.00 * "
+       "sum(CASE WHEN p_type LIKE 'PROMO%' "
+       "THEN l_extendedprice * (1 - l_discount) ELSE 0 END) / "
+       "sum(l_extendedprice * (1 - l_discount)) AS promo_revenue "
+       "FROM lineitem, part "
+       "WHERE l_partkey = p_partkey AND l_shipdate >= 900 "
+       "AND l_shipdate < 930)",
+       "AG"},
+      // Q19's official text repeats the join condition in every
+      // disjunct; the common conjunct is factored out here so the
+      // disjunction remains a residual predicate on the join.
+      {"Q19",
+       "SEQ VT (SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM lineitem, part "
+       "WHERE p_partkey = l_partkey AND l_shipinstruct = 'DELIVER IN PERSON' "
+       "AND ((p_brand = 'Brand#12' "
+       "  AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') "
+       "  AND l_quantity BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5 "
+       "  AND l_shipmode IN ('AIR', 'REG AIR')) "
+       " OR (p_brand = 'Brand#23' "
+       "  AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') "
+       "  AND l_quantity BETWEEN 10 AND 20 AND p_size BETWEEN 1 AND 10 "
+       "  AND l_shipmode IN ('AIR', 'REG AIR')) "
+       " OR (p_brand = 'Brand#34' "
+       "  AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') "
+       "  AND l_quantity BETWEEN 20 AND 30 AND p_size BETWEEN 1 AND 15 "
+       "  AND l_shipmode IN ('AIR', 'REG AIR'))))",
+       "AG"},
+  };
+  return kQueries;
+}
+
+}  // namespace periodk

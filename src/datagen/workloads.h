@@ -1,0 +1,30 @@
+// The benchmark workloads of the paper's Section 10: the ten snapshot
+// queries over the employees dataset (10.3) and the TPC-H queries
+// evaluated under snapshot semantics over TPC-BiH (10.4).  Each query
+// is expressed in the middleware's SEQ VT dialect.
+#ifndef PERIODK_DATAGEN_WORKLOADS_H_
+#define PERIODK_DATAGEN_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+namespace periodk {
+
+struct WorkloadQuery {
+  std::string name;
+  std::string sql;
+  /// Which bug (paper Table 3 rightmost column) native approaches
+  /// exhibit on this query: "AG", "BD" or "".
+  std::string bug;
+};
+
+/// join-1..4, agg-1..3, agg-join, diff-1, diff-2 (paper Section 10.1).
+const std::vector<WorkloadQuery>& EmployeeWorkload();
+
+/// The TPC-H queries used in Table 2/3 (Q1, Q3, Q5, Q6, Q7, Q8, Q9,
+/// Q10, Q12, Q14, Q19) under snapshot semantics.
+const std::vector<WorkloadQuery>& TpcBihWorkload();
+
+}  // namespace periodk
+
+#endif  // PERIODK_DATAGEN_WORKLOADS_H_

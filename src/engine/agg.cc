@@ -1,0 +1,73 @@
+#include "engine/agg.h"
+
+#include "common/status.h"
+
+namespace periodk {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kCountStar:
+      return "count(*)";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+void AggState::Accumulate(const Value& v, int64_t mult) {
+  if (v.is_null()) return;
+  count += mult;
+  if (v.is_numeric()) {
+    if (v.type() == ValueType::kInt) {
+      isum += v.AsInt() * mult;
+    } else {
+      all_int = false;
+    }
+    dsum += v.NumericAsDouble() * static_cast<double>(mult);
+  }
+  if (!any || v.Compare(min_v) < 0) min_v = v;
+  if (!any || v.Compare(max_v) > 0) max_v = v;
+  any = true;
+}
+
+void AggState::Merge(const AggState& other) {
+  count += other.count;
+  isum += other.isum;
+  dsum += other.dsum;
+  all_int = all_int && other.all_int;
+  if (other.any) {
+    if (!any || other.min_v.Compare(min_v) < 0) min_v = other.min_v;
+    if (!any || other.max_v.Compare(max_v) > 0) max_v = other.max_v;
+  }
+  any = any || other.any;
+}
+
+Value AggState::Finalize(AggFunc f, int64_t star_count) const {
+  switch (f) {
+    case AggFunc::kCountStar:
+      return Value::Int(star_count);
+    case AggFunc::kCount:
+      return Value::Int(count);
+    case AggFunc::kSum:
+      if (!any) return Value::Null();
+      return all_int ? Value::Int(isum) : Value::Double(dsum);
+    case AggFunc::kAvg:
+      if (count == 0) return Value::Null();
+      return Value::Double(dsum / static_cast<double>(count));
+    case AggFunc::kMin:
+      return any ? min_v : Value::Null();
+    case AggFunc::kMax:
+      return any ? max_v : Value::Null();
+  }
+  throw EngineError("unknown aggregate function");
+}
+
+}  // namespace periodk

@@ -1,0 +1,43 @@
+// Aggregate functions and incremental aggregation state, shared by the
+// abstract-model bag aggregation (annotated/), the engine's group-by
+// operator and the fused split+aggregate operator of the rewrite layer.
+#ifndef PERIODK_ENGINE_AGG_H_
+#define PERIODK_ENGINE_AGG_H_
+
+#include <cstdint>
+
+#include "common/value.h"
+
+namespace periodk {
+
+enum class AggFunc { kCount, kCountStar, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+/// Incremental state for one aggregate over one group, with SQL
+/// semantics: count(*) counts rows, count(A) counts non-null A, the
+/// remaining functions ignore nulls and yield NULL on empty input.
+/// Multiplicities allow bag-annotated accumulation (one call per
+/// distinct tuple instead of per duplicate).
+struct AggState {
+  int64_t count = 0;
+  bool any = false;
+  bool all_int = true;
+  int64_t isum = 0;
+  double dsum = 0.0;
+  Value min_v;
+  Value max_v;
+
+  void Accumulate(const Value& v, int64_t mult = 1);
+
+  /// Merges partially aggregated state (used by pre-aggregation: the
+  /// fused split operator merges per-interval partials into per-fragment
+  /// results).  Min/max merge unconditionally; count/sum add up.
+  void Merge(const AggState& other);
+
+  Value Finalize(AggFunc f, int64_t star_count) const;
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_ENGINE_AGG_H_

@@ -1,0 +1,253 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/str_util.h"
+#include "engine/temporal_ops.h"
+
+namespace periodk {
+
+const Relation& Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw EngineError(StrCat("unknown table: ", name));
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, rel] : tables_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+Relation ExecSelect(const Plan& plan, Relation input) {
+  Relation out(plan.schema);
+  for (Row& row : input.mutable_rows()) {
+    if (plan.predicate->EvalBool(row)) out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Relation ExecProject(const Plan& plan, const Relation& input) {
+  Relation out(plan.schema);
+  out.Reserve(input.size());
+  for (const Row& row : input.rows()) {
+    Row projected;
+    projected.reserve(plan.exprs.size());
+    for (const ExprPtr& e : plan.exprs) projected.push_back(e->Eval(row));
+    out.AddRow(std::move(projected));
+  }
+  return out;
+}
+
+Relation ExecJoin(const Plan& plan, const Relation& left,
+                  const Relation& right) {
+  std::vector<std::pair<int, int>> keys;
+  std::vector<ExprPtr> residual_conjuncts;
+  ExtractEquiKeys(plan.predicate, left.schema().size(), &keys,
+                  &residual_conjuncts);
+  ExprPtr residual =
+      residual_conjuncts.empty() ? nullptr : AndAll(residual_conjuncts);
+  Relation out(plan.schema);
+
+  if (!keys.empty()) {
+    // Hash join: build on the right input.
+    std::unordered_map<Row, std::vector<const Row*>, RowHash, RowEq> build;
+    build.reserve(right.size());
+    for (const Row& row : right.rows()) {
+      Row key;
+      key.reserve(keys.size());
+      bool has_null = false;
+      for (auto& [l, r] : keys) {
+        const Value& v = row[static_cast<size_t>(r)];
+        if (v.is_null()) has_null = true;
+        key.push_back(v);
+      }
+      if (has_null) continue;  // NULL never equi-joins
+      build[key].push_back(&row);
+    }
+    for (const Row& lrow : left.rows()) {
+      Row key;
+      key.reserve(keys.size());
+      bool has_null = false;
+      for (auto& [l, r] : keys) {
+        const Value& v = lrow[static_cast<size_t>(l)];
+        if (v.is_null()) has_null = true;
+        key.push_back(v);
+      }
+      if (has_null) continue;
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (const Row* rrow : it->second) {
+        Row combined = lrow;
+        combined.insert(combined.end(), rrow->begin(), rrow->end());
+        if (residual == nullptr || residual->EvalBool(combined)) {
+          out.AddRow(std::move(combined));
+        }
+      }
+    }
+    return out;
+  }
+
+  // Nested-loop fallback for non-equi predicates.
+  for (const Row& lrow : left.rows()) {
+    for (const Row& rrow : right.rows()) {
+      Row combined = lrow;
+      combined.insert(combined.end(), rrow.begin(), rrow.end());
+      if (plan.predicate->EvalBool(combined)) {
+        out.AddRow(std::move(combined));
+      }
+    }
+  }
+  return out;
+}
+
+Relation ExecUnionAll(const Plan& plan, Relation left, const Relation& right) {
+  Relation out(plan.schema, std::move(left.mutable_rows()));
+  out.Reserve(out.size() + right.size());
+  for (const Row& row : right.rows()) out.AddRow(row);
+  return out;
+}
+
+Relation ExecExceptAll(const Plan& plan, Relation left,
+                       const Relation& right) {
+  // Bag difference: each right row cancels one left duplicate.
+  std::unordered_map<Row, int64_t, RowHash, RowEq> counts;
+  counts.reserve(right.size());
+  for (const Row& row : right.rows()) ++counts[row];
+  Relation out(plan.schema);
+  for (Row& row : left.mutable_rows()) {
+    auto it = counts.find(row);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Relation ExecAntiJoin(const Plan& plan, Relation left, const Relation& right) {
+  std::unordered_map<Row, bool, RowHash, RowEq> present;
+  present.reserve(right.size());
+  for (const Row& row : right.rows()) present.try_emplace(row, true);
+  Relation out(plan.schema);
+  for (Row& row : left.mutable_rows()) {
+    if (present.count(row) == 0) out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+struct GroupState {
+  int64_t star_count = 0;
+  std::vector<AggState> states;
+};
+
+Relation ExecAggregate(const Plan& plan, const Relation& input) {
+  std::unordered_map<Row, GroupState, RowHash, RowEq> groups;
+  for (const Row& row : input.rows()) {
+    Row key;
+    key.reserve(plan.exprs.size());
+    for (const ExprPtr& e : plan.exprs) key.push_back(e->Eval(row));
+    GroupState& g = groups[key];
+    if (g.states.empty()) g.states.resize(plan.aggs.size());
+    g.star_count += 1;
+    for (size_t i = 0; i < plan.aggs.size(); ++i) {
+      if (plan.aggs[i].func == AggFunc::kCountStar) continue;
+      g.states[i].Accumulate(plan.aggs[i].arg->Eval(row));
+    }
+  }
+  if (plan.exprs.empty() && groups.empty()) {
+    groups[Row{}].states.resize(plan.aggs.size());
+  }
+  Relation out(plan.schema);
+  out.Reserve(groups.size());
+  for (auto& [key, g] : groups) {
+    Row row = key;
+    for (size_t i = 0; i < plan.aggs.size(); ++i) {
+      row.push_back(g.states[i].Finalize(plan.aggs[i].func, g.star_count));
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Relation ExecDistinct(const Plan& plan, Relation input) {
+  std::unordered_map<Row, bool, RowHash, RowEq> seen;
+  seen.reserve(input.size());
+  Relation out(plan.schema);
+  for (Row& row : input.mutable_rows()) {
+    auto [it, inserted] = seen.try_emplace(row, true);
+    if (inserted) out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Relation ExecSort(const Plan& plan, Relation input) {
+  std::stable_sort(
+      input.mutable_rows().begin(), input.mutable_rows().end(),
+      [&](const Row& a, const Row& b) {
+        for (const SortKey& k : plan.sort_keys) {
+          int c = a[static_cast<size_t>(k.column)].Compare(
+              b[static_cast<size_t>(k.column)]);
+          if (c != 0) return k.ascending ? c < 0 : c > 0;
+        }
+        return false;
+      });
+  return Relation(plan.schema, std::move(input.mutable_rows()));
+}
+
+}  // namespace
+
+Relation Execute(const PlanPtr& plan, const Catalog& catalog) {
+  switch (plan->kind) {
+    case PlanKind::kScan:
+      return catalog.Get(plan->table);
+    case PlanKind::kConstant:
+      return *plan->constant;
+    case PlanKind::kSelect:
+      return ExecSelect(*plan, Execute(plan->left, catalog));
+    case PlanKind::kProject:
+      return ExecProject(*plan, Execute(plan->left, catalog));
+    case PlanKind::kJoin:
+      return ExecJoin(*plan, Execute(plan->left, catalog),
+                      Execute(plan->right, catalog));
+    case PlanKind::kUnionAll:
+      return ExecUnionAll(*plan, Execute(plan->left, catalog),
+                          Execute(plan->right, catalog));
+    case PlanKind::kExceptAll:
+      return ExecExceptAll(*plan, Execute(plan->left, catalog),
+                           Execute(plan->right, catalog));
+    case PlanKind::kAntiJoin:
+      return ExecAntiJoin(*plan, Execute(plan->left, catalog),
+                          Execute(plan->right, catalog));
+    case PlanKind::kAggregate:
+      return ExecAggregate(*plan, Execute(plan->left, catalog));
+    case PlanKind::kDistinct:
+      return ExecDistinct(*plan, Execute(plan->left, catalog));
+    case PlanKind::kSort:
+      return ExecSort(*plan, Execute(plan->left, catalog));
+    case PlanKind::kCoalesce:
+      return CoalesceRelation(Execute(plan->left, catalog),
+                              plan->coalesce_impl);
+    case PlanKind::kSplit:
+      return SplitRelation(Execute(plan->left, catalog),
+                           Execute(plan->right, catalog), plan->split_group);
+    case PlanKind::kSplitAggregate:
+      return SplitAggregateRelation(Execute(plan->left, catalog),
+                                    plan->split_group, plan->aggs,
+                                    plan->gap_rows, plan->domain,
+                                    plan->pre_aggregate);
+    case PlanKind::kTimeslice:
+      return TimesliceEncoded(Execute(plan->left, catalog), plan->slice_time);
+  }
+  throw EngineError("unknown plan kind");
+}
+
+}  // namespace periodk

@@ -1,0 +1,42 @@
+// Catalog of materialized relations and the plan executor.  Execution is
+// operator-at-a-time (each operator materializes its output), which
+// keeps the engine simple and is adequate for the paper-scale workloads;
+// joins use hash joins when equi-keys can be extracted from the
+// predicate and fall back to nested loops otherwise.
+#ifndef PERIODK_ENGINE_EXECUTOR_H_
+#define PERIODK_ENGINE_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/relation.h"
+#include "ra/plan.h"
+
+namespace periodk {
+
+class Catalog {
+ public:
+  void Put(const std::string& name, Relation relation) {
+    tables_.insert_or_assign(name, std::move(relation));
+  }
+  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+  const Relation& Get(const std::string& name) const;
+  /// Mutable access for inserts; nullptr when absent.
+  Relation* GetMutable(const std::string& name) {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : &it->second;
+  }
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, Relation> tables_;
+};
+
+/// Executes a logical plan against the catalog; throws EngineError on
+/// invariant violations (e.g. unknown table).
+Relation Execute(const PlanPtr& plan, const Catalog& catalog);
+
+}  // namespace periodk
+
+#endif  // PERIODK_ENGINE_EXECUTOR_H_

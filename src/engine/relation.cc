@@ -1,0 +1,44 @@
+#include "engine/relation.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace periodk {
+
+void Relation::SortRows() {
+  std::sort(rows_.begin(), rows_.end(),
+            [](const Row& a, const Row& b) { return CompareRows(a, b) < 0; });
+}
+
+bool Relation::BagEquals(const Relation& other) const {
+  if (schema_.size() != other.schema_.size()) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  std::vector<Row> a = rows_, b = other.rows_;
+  auto less = [](const Row& x, const Row& y) { return CompareRows(x, y) < 0; };
+  std::sort(a.begin(), a.end(), less);
+  std::sort(b.begin(), b.end(), less);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (CompareRows(a[i], b[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::string Relation::ToString(size_t limit) const {
+  std::vector<Row> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Row& a, const Row& b) { return CompareRows(a, b) < 0; });
+  std::string out = schema_.ToString();
+  out += "\n";
+  size_t n = limit == 0 ? sorted.size() : std::min(limit, sorted.size());
+  for (size_t i = 0; i < n; ++i) {
+    out += RowToString(sorted[i]);
+    out += "\n";
+  }
+  if (n < sorted.size()) {
+    out += StrCat("... (", sorted.size() - n, " more rows)\n");
+  }
+  return out;
+}
+
+}  // namespace periodk

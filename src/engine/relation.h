@@ -1,0 +1,49 @@
+// Materialized multiset relations: the engine's runtime representation
+// and, with two trailing time columns, the paper's *SQL period
+// relations* (Section 8).  Multiplicity is represented by duplicate
+// rows, exactly as in SQL.
+#ifndef PERIODK_ENGINE_RELATION_H_
+#define PERIODK_ENGINE_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "engine/schema.h"
+
+namespace periodk {
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Sorts rows lexicographically; canonical order for comparisons and
+  /// printing (a multiset has no inherent order).
+  void SortRows();
+
+  /// Bag equality: same schema arity and same multiset of rows.
+  bool BagEquals(const Relation& other) const;
+
+  /// Tabular rendering of up to `limit` rows (0 = all), sorted.
+  std::string ToString(size_t limit = 0) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_ENGINE_RELATION_H_

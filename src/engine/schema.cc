@@ -1,0 +1,51 @@
+#include "engine/schema.h"
+
+#include "common/str_util.h"
+
+namespace periodk {
+
+Schema Schema::FromNames(const std::vector<std::string>& names) {
+  std::vector<Column> columns;
+  columns.reserve(names.size());
+  for (const std::string& n : names) columns.emplace_back(n);
+  return Schema(std::move(columns));
+}
+
+int Schema::Find(const std::string& qualifier, const std::string& name) const {
+  int found = -1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!EqualsIgnoreCase(columns_[i].name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(columns_[i].table, qualifier)) {
+      continue;
+    }
+    if (found >= 0) return -2;  // ambiguous
+    found = static_cast<int>(i);
+  }
+  return found;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> columns = left.columns_;
+  columns.insert(columns.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(columns));
+}
+
+Schema Schema::WithQualifier(const std::string& alias) const {
+  std::vector<Column> columns = columns_;
+  for (Column& c : columns) c.table = alias;
+  return Schema(std::move(columns));
+}
+
+Schema Schema::Prefix(size_t n) const {
+  return Schema(std::vector<Column>(columns_.begin(),
+                                    columns_.begin() + static_cast<long>(n)));
+}
+
+std::string Schema::ToString() const {
+  return StrCat("(",
+                JoinMapped(columns_, ", ",
+                           [](const Column& c) { return c.ToString(); }),
+                ")");
+}
+
+}  // namespace periodk

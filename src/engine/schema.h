@@ -1,0 +1,66 @@
+// Relation schemas: ordered lists of (optional qualifier, name) columns.
+// The engine is dynamically typed, so schemas carry names only; the SQL
+// binder resolves qualified references (alias.column) against them.
+#ifndef PERIODK_ENGINE_SCHEMA_H_
+#define PERIODK_ENGINE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace periodk {
+
+struct Column {
+  std::string table;  // qualifier (table alias); may be empty
+  std::string name;
+
+  Column() = default;
+  Column(std::string t, std::string n)
+      : table(std::move(t)), name(std::move(n)) {}
+  explicit Column(std::string n) : name(std::move(n)) {}
+
+  /// "name" or "table.name".
+  std::string ToString() const {
+    return table.empty() ? name : table + "." + name;
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Convenience: unqualified column names.
+  static Schema FromNames(const std::vector<std::string>& names);
+
+  size_t size() const { return columns_.size(); }
+  const Column& at(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void Append(Column column) { columns_.push_back(std::move(column)); }
+
+  /// Resolves an (optionally qualified) column reference.  Returns the
+  /// index of the unique match, -1 if there is no match, or -2 if the
+  /// reference is ambiguous.  Matching is case-insensitive.
+  int Find(const std::string& qualifier, const std::string& name) const;
+
+  /// Concatenation (join output schema).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Schema with every qualifier replaced by `alias` (subquery/table
+  /// aliasing).
+  Schema WithQualifier(const std::string& alias) const;
+
+  /// Schema consisting of the first `n` columns.
+  Schema Prefix(size_t n) const;
+
+  /// "(a, b.c, ...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_ENGINE_SCHEMA_H_

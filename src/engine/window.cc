@@ -1,0 +1,116 @@
+#include "engine/window.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace periodk {
+
+namespace {
+
+int ComparePartition(const Row& a, const Row& b,
+                     const std::vector<int>& cols) {
+  for (int c : cols) {
+    int r = a[static_cast<size_t>(c)].Compare(b[static_cast<size_t>(c)]);
+    if (r != 0) return r;
+  }
+  return 0;
+}
+
+int CompareOrder(const Row& a, const Row& b,
+                 const std::vector<WindowOrderKey>& keys) {
+  for (const WindowOrderKey& k : keys) {
+    int r = a[static_cast<size_t>(k.column)].Compare(
+        b[static_cast<size_t>(k.column)]);
+    if (r != 0) return k.ascending ? r : -r;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Relation ApplyWindow(const Relation& input, const WindowSpec& spec,
+                     const std::string& out_name) {
+  const std::vector<Row>& rows = input.rows();
+  std::vector<size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    int p = ComparePartition(rows[a], rows[b], spec.partition_by);
+    if (p != 0) return p < 0;
+    int o = CompareOrder(rows[a], rows[b], spec.order_by);
+    if (o != 0) return o < 0;
+    return a < b;  // stable tie-break
+  });
+
+  std::vector<Value> result(rows.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    // Locate the current partition [i, part_end).
+    size_t part_end = i + 1;
+    while (part_end < order.size() &&
+           ComparePartition(rows[order[i]], rows[order[part_end]],
+                            spec.partition_by) == 0) {
+      ++part_end;
+    }
+    switch (spec.func) {
+      case WindowFunc::kRunningSumRange: {
+        int64_t running = 0;
+        size_t j = i;
+        while (j < part_end) {
+          // Peer block: equal order keys share the same frame.
+          size_t peer_end = j + 1;
+          while (peer_end < part_end &&
+                 CompareOrder(rows[order[j]], rows[order[peer_end]],
+                              spec.order_by) == 0) {
+            ++peer_end;
+          }
+          for (size_t p = j; p < peer_end; ++p) {
+            const Value& v =
+                rows[order[p]][static_cast<size_t>(spec.arg_col)];
+            if (!v.is_null()) running += v.AsInt();
+          }
+          for (size_t p = j; p < peer_end; ++p) {
+            result[order[p]] = Value::Int(running);
+          }
+          j = peer_end;
+        }
+        break;
+      }
+      case WindowFunc::kRowNumber:
+        for (size_t j = i; j < part_end; ++j) {
+          result[order[j]] = Value::Int(static_cast<int64_t>(j - i + 1));
+        }
+        break;
+      case WindowFunc::kLag:
+        for (size_t j = i; j < part_end; ++j) {
+          result[order[j]] =
+              j == i ? Value::Null()
+                     : rows[order[j - 1]][static_cast<size_t>(spec.arg_col)];
+        }
+        break;
+      case WindowFunc::kLead:
+        for (size_t j = i; j < part_end; ++j) {
+          result[order[j]] =
+              j + 1 == part_end
+                  ? Value::Null()
+                  : rows[order[j + 1]][static_cast<size_t>(spec.arg_col)];
+        }
+        break;
+    }
+    i = part_end;
+  }
+
+  Schema schema = input.schema();
+  schema.Append(Column(out_name));
+  Relation out(std::move(schema));
+  out.Reserve(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    Row row = rows[r];
+    row.push_back(result[r]);
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace periodk

@@ -1,0 +1,48 @@
+// SQL analytic window functions (the subset needed to express multiset
+// coalescing the way the paper's middleware does on PostgreSQL/DBX/DBY:
+// running sums with RANGE frames, row numbering, lag/lead).  Each
+// ApplyWindow call performs one sort of the input, mirroring the
+// per-window-declaration sorting steps the paper observes in the
+// backends (Sec. 9: 2-7 sorting steps depending on window sharing).
+#ifndef PERIODK_ENGINE_WINDOW_H_
+#define PERIODK_ENGINE_WINDOW_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/relation.h"
+
+namespace periodk {
+
+struct WindowOrderKey {
+  int column = 0;
+  bool ascending = true;
+};
+
+enum class WindowFunc {
+  /// Sum of arg_col from partition start through the current row *and
+  /// all its order-key peers* (SQL default RANGE frame).
+  kRunningSumRange,
+  /// 1-based position within the partition (ROWS semantics).
+  kRowNumber,
+  /// arg_col of the previous row in the partition; NULL for the first.
+  kLag,
+  /// arg_col of the next row in the partition; NULL for the last.
+  kLead,
+};
+
+struct WindowSpec {
+  std::vector<int> partition_by;
+  std::vector<WindowOrderKey> order_by;
+  WindowFunc func = WindowFunc::kRunningSumRange;
+  int arg_col = -1;  // unused for kRowNumber
+};
+
+/// Returns `input` with one column appended holding the window function
+/// result for every row (original row order preserved).
+Relation ApplyWindow(const Relation& input, const WindowSpec& spec,
+                     const std::string& out_name);
+
+}  // namespace periodk
+
+#endif  // PERIODK_ENGINE_WINDOW_H_

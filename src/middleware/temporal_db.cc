@@ -1,0 +1,170 @@
+#include "middleware/temporal_db.h"
+
+#include "common/str_util.h"
+#include "engine/temporal_ops.h"
+#include "sql/parser.h"
+
+namespace periodk {
+
+Status TemporalDB::CreateTable(const std::string& name,
+                               const std::vector<std::string>& columns) {
+  if (catalog_.Has(name)) {
+    return Status::AlreadyExists(StrCat("table exists: ", name));
+  }
+  catalog_.Put(name, Relation(Schema::FromNames(columns)));
+  return Status::OK();
+}
+
+Status TemporalDB::CreatePeriodTable(const std::string& name,
+                                     const std::vector<std::string>& columns,
+                                     const std::string& begin_column,
+                                     const std::string& end_column) {
+  Schema schema = Schema::FromNames(columns);
+  if (schema.Find("", begin_column) < 0 || schema.Find("", end_column) < 0) {
+    return Status::InvalidArgument(
+        StrCat("period columns (", begin_column, ", ", end_column,
+               ") must be part of the schema"));
+  }
+  Status status = CreateTable(name, columns);
+  if (!status.ok()) return status;
+  period_tables_[name] = sql::PeriodTableInfo{begin_column, end_column};
+  return Status::OK();
+}
+
+Status TemporalDB::PutPeriodTable(const std::string& name, Relation relation,
+                                  const std::string& begin_column,
+                                  const std::string& end_column) {
+  if (relation.schema().Find("", begin_column) < 0 ||
+      relation.schema().Find("", end_column) < 0) {
+    return Status::InvalidArgument(
+        StrCat("period columns (", begin_column, ", ", end_column,
+               ") must be part of the schema"));
+  }
+  catalog_.Put(name, std::move(relation));
+  period_tables_[name] = sql::PeriodTableInfo{begin_column, end_column};
+  return Status::OK();
+}
+
+Status TemporalDB::Insert(const std::string& table, Row row) {
+  Relation* relation = catalog_.GetMutable(table);
+  if (relation == nullptr) {
+    return Status::NotFound(StrCat("unknown table: ", table));
+  }
+  if (row.size() != relation->schema().size()) {
+    return Status::InvalidArgument(
+        StrCat("arity mismatch inserting into ", table, ": got ", row.size(),
+               " values, expected ", relation->schema().size()));
+  }
+  relation->AddRow(std::move(row));
+  return Status::OK();
+}
+
+Status TemporalDB::InsertRows(const std::string& table,
+                              std::vector<Row> rows) {
+  for (Row& row : rows) {
+    Status status = Insert(table, std::move(row));
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+Result<sql::BoundStatement> TemporalDB::BindSql(const std::string& sql) const {
+  Result<sql::Statement> parsed = sql::Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  sql::Binder binder(&catalog_, &period_tables_);
+  return binder.Bind(*parsed);
+}
+
+Result<PlanPtr> TemporalDB::PlanBound(const sql::BoundStatement& bound,
+                                      const RewriteOptions& options) const {
+  try {
+    PlanPtr plan = bound.plan;
+    if (bound.snapshot) {
+      SnapshotRewriter rewriter(domain_, options, bound.encoded_tables);
+      plan = rewriter.Rewrite(plan);
+      if (bound.as_of.has_value()) {
+        // tau_T of the snapshot result (Thm 6.3 guarantees this equals
+        // evaluating the query over the sliced database).
+        if (!domain_.Contains(*bound.as_of)) {
+          return Status::InvalidArgument(
+              StrCat("AS OF time ", *bound.as_of, " outside the domain ",
+                     domain_.ToString()));
+        }
+        plan = MakeTimeslice(std::move(plan), *bound.as_of);
+      }
+    }
+    if (!bound.order_by.empty()) {
+      Result<std::vector<SortKey>> keys =
+          sql::BindOrderBy(bound.order_by, plan->schema);
+      if (!keys.ok()) return keys.status();
+      plan = MakeSort(std::move(plan), std::move(keys.value()));
+    }
+    return plan;
+  } catch (const EngineError& error) {
+    return Status::Internal(error.what());
+  }
+}
+
+Result<PlanPtr> TemporalDB::Plan(const std::string& sql) const {
+  return Plan(sql, options_);
+}
+
+Result<PlanPtr> TemporalDB::Plan(const std::string& sql,
+                                 const RewriteOptions& options) const {
+  Result<sql::BoundStatement> bound = BindSql(sql);
+  if (!bound.ok()) return bound.status();
+  return PlanBound(*bound, options);
+}
+
+Result<std::string> TemporalDB::Explain(const std::string& sql) const {
+  Result<PlanPtr> plan = Plan(sql, options_);
+  if (!plan.ok()) return plan.status();
+  return (*plan)->ToString();
+}
+
+Result<Relation> TemporalDB::Query(const std::string& sql) const {
+  return Query(sql, options_);
+}
+
+Result<Relation> TemporalDB::Query(const std::string& sql,
+                                   const RewriteOptions& options) const {
+  Result<PlanPtr> plan = Plan(sql, options);
+  if (!plan.ok()) return plan.status();
+  try {
+    return Execute(*plan, catalog_);
+  } catch (const EngineError& error) {
+    return Status::Internal(error.what());
+  }
+}
+
+Result<Relation> TemporalDB::Timeslice(const std::string& table,
+                                       TimePoint t) const {
+  if (!catalog_.Has(table)) {
+    return Status::NotFound(StrCat("unknown table: ", table));
+  }
+  auto it = period_tables_.find(table);
+  if (it == period_tables_.end()) {
+    return Status::InvalidArgument(StrCat(table, " is not a period table"));
+  }
+  const Relation& stored = catalog_.Get(table);
+  // Normalize the period columns into the trailing position, then slice.
+  int begin_idx = stored.schema().Find("", it->second.begin_column);
+  int end_idx = stored.schema().Find("", it->second.end_column);
+  std::vector<int> order;
+  for (size_t i = 0; i < stored.schema().size(); ++i) {
+    if (static_cast<int>(i) != begin_idx && static_cast<int>(i) != end_idx) {
+      order.push_back(static_cast<int>(i));
+    }
+  }
+  order.push_back(begin_idx);
+  order.push_back(end_idx);
+  try {
+    Relation normalized =
+        Execute(MakeProjectColumns(MakeConstant(stored), order), catalog_);
+    return TimesliceEncoded(normalized, t);
+  } catch (const EngineError& error) {
+    return Status::Internal(error.what());
+  }
+}
+
+}  // namespace periodk

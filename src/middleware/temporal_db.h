@@ -1,0 +1,89 @@
+// TemporalDB: the database middleware of paper Section 9.  It stores
+// SQL period relations, accepts SQL with the SEQ VT (...) snapshot
+// modifier, rewrites snapshot queries with REWR and executes them on
+// the bundled multiset engine.  This is the library's primary public
+// entry point:
+//
+//   TemporalDB db(TimeDomain{0, 24});
+//   db.CreatePeriodTable("works", {"name", "skill", "ts", "te"},
+//                        "ts", "te");
+//   db.Insert("works", {...});
+//   auto result = db.Query(
+//       "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')");
+#ifndef PERIODK_MIDDLEWARE_TEMPORAL_DB_H_
+#define PERIODK_MIDDLEWARE_TEMPORAL_DB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/executor.h"
+#include "rewrite/rewriter.h"
+#include "sql/binder.h"
+
+namespace periodk {
+
+class TemporalDB {
+ public:
+  explicit TemporalDB(TimeDomain domain, RewriteOptions options = {})
+      : domain_(domain), options_(options) {}
+
+  const TimeDomain& domain() const { return domain_; }
+  const RewriteOptions& options() const { return options_; }
+  void set_options(const RewriteOptions& options) { options_ = options; }
+
+  /// Creates an ordinary (non-temporal) table.
+  Status CreateTable(const std::string& name,
+                     const std::vector<std::string>& columns);
+
+  /// Creates a period table; `begin_column` / `end_column` must be among
+  /// `columns` and hold integer time points within the domain.
+  Status CreatePeriodTable(const std::string& name,
+                           const std::vector<std::string>& columns,
+                           const std::string& begin_column,
+                           const std::string& end_column);
+
+  /// Registers an existing relation as a period table (bulk load).
+  Status PutPeriodTable(const std::string& name, Relation relation,
+                        const std::string& begin_column,
+                        const std::string& end_column);
+
+  Status Insert(const std::string& table, Row row);
+  Status InsertRows(const std::string& table, std::vector<Row> rows);
+
+  /// Parses, binds, (for SEQ VT queries) rewrites, and executes.
+  Result<Relation> Query(const std::string& sql) const;
+  Result<Relation> Query(const std::string& sql,
+                         const RewriteOptions& options) const;
+
+  /// The executable plan for a statement (after rewriting), for EXPLAIN.
+  Result<PlanPtr> Plan(const std::string& sql) const;
+  Result<PlanPtr> Plan(const std::string& sql,
+                       const RewriteOptions& options) const;
+
+  /// EXPLAIN: the executable plan rendered as an indented tree.
+  Result<std::string> Explain(const std::string& sql) const;
+
+  /// tau_T of a period table: its snapshot at time t.
+  Result<Relation> Timeslice(const std::string& table, TimePoint t) const;
+
+  const Catalog& catalog() const { return catalog_; }
+  bool IsPeriodTable(const std::string& name) const {
+    return period_tables_.count(name) > 0;
+  }
+
+ private:
+  Result<sql::BoundStatement> BindSql(const std::string& sql) const;
+  Result<PlanPtr> PlanBound(const sql::BoundStatement& bound,
+                            const RewriteOptions& options) const;
+
+  TimeDomain domain_;
+  RewriteOptions options_;
+  Catalog catalog_;
+  std::map<std::string, sql::PeriodTableInfo> period_tables_;
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_MIDDLEWARE_TEMPORAL_DB_H_

@@ -1,0 +1,301 @@
+#include "ra/plan.h"
+
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace periodk {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan:
+      return "Scan";
+    case PlanKind::kConstant:
+      return "Constant";
+    case PlanKind::kSelect:
+      return "Select";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kJoin:
+      return "Join";
+    case PlanKind::kUnionAll:
+      return "UnionAll";
+    case PlanKind::kExceptAll:
+      return "ExceptAll";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+    case PlanKind::kAntiJoin:
+      return "AntiJoin";
+    case PlanKind::kDistinct:
+      return "Distinct";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kCoalesce:
+      return "Coalesce";
+    case PlanKind::kSplit:
+      return "Split";
+    case PlanKind::kSplitAggregate:
+      return "SplitAggregate";
+    case PlanKind::kTimeslice:
+      return "Timeslice";
+  }
+  return "?";
+}
+
+namespace {
+
+std::shared_ptr<Plan> NewPlan(PlanKind kind) {
+  auto p = std::make_shared<Plan>();
+  p->kind = kind;
+  return p;
+}
+
+void RequireSameArity(const PlanPtr& l, const PlanPtr& r, const char* op) {
+  if (l->schema.size() != r->schema.size()) {
+    throw EngineError(StrCat(op, " requires union-compatible inputs, got ",
+                             l->schema.size(), " vs ", r->schema.size(),
+                             " columns"));
+  }
+}
+
+}  // namespace
+
+std::string Plan::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + PlanKindName(kind);
+  switch (kind) {
+    case PlanKind::kScan:
+      out += StrCat(" ", table, " ", schema.ToString());
+      break;
+    case PlanKind::kConstant:
+      out += StrCat(" (", constant->size(), " rows) ", schema.ToString());
+      break;
+    case PlanKind::kSelect:
+    case PlanKind::kJoin:
+      out += StrCat(" [", predicate->ToString(), "]");
+      break;
+    case PlanKind::kProject:
+      out += StrCat(
+          " [",
+          JoinMapped(exprs, ", ",
+                     [](const ExprPtr& e) { return e->ToString(); }),
+          "] -> ", schema.ToString());
+      break;
+    case PlanKind::kAggregate:
+    case PlanKind::kSplitAggregate:
+      out += StrCat(
+          " groups=[",
+          kind == PlanKind::kAggregate
+              ? JoinMapped(exprs, ", ",
+                           [](const ExprPtr& e) { return e->ToString(); })
+              : JoinMapped(split_group, ", ",
+                           [](int c) { return StrCat("#", c); }),
+          "] aggs=[",
+          JoinMapped(aggs, ", ",
+                     [](const AggExpr& a) {
+                       return StrCat(AggFuncName(a.func), "(",
+                                     a.arg ? a.arg->ToString() : "*", ")");
+                     }),
+          "]");
+      if (kind == PlanKind::kSplitAggregate && gap_rows) out += " +gaps";
+      break;
+    case PlanKind::kSplit:
+      out += StrCat(" on=[",
+                    JoinMapped(split_group, ", ",
+                               [](int c) { return StrCat("#", c); }),
+                    "]");
+      break;
+    case PlanKind::kCoalesce:
+      out += coalesce_impl == CoalesceImpl::kNative ? " (native)" : " (window)";
+      break;
+    case PlanKind::kTimeslice:
+      out += StrCat(" @", slice_time);
+      break;
+    default:
+      break;
+  }
+  out += "\n";
+  if (left != nullptr) out += left->ToString(indent + 1);
+  if (right != nullptr) out += right->ToString(indent + 1);
+  return out;
+}
+
+PlanPtr MakeScan(std::string table, Schema schema) {
+  auto p = NewPlan(PlanKind::kScan);
+  p->table = std::move(table);
+  p->schema = std::move(schema);
+  return p;
+}
+
+PlanPtr MakeConstant(Relation relation) {
+  auto p = NewPlan(PlanKind::kConstant);
+  p->schema = relation.schema();
+  p->constant = std::make_shared<const Relation>(std::move(relation));
+  return p;
+}
+
+PlanPtr MakeSelect(PlanPtr child, ExprPtr predicate) {
+  auto p = NewPlan(PlanKind::kSelect);
+  p->schema = child->schema;
+  p->left = std::move(child);
+  p->predicate = std::move(predicate);
+  return p;
+}
+
+PlanPtr MakeProject(PlanPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<Column> columns) {
+  if (exprs.size() != columns.size()) {
+    throw EngineError("Project: expression/name count mismatch");
+  }
+  auto p = NewPlan(PlanKind::kProject);
+  p->schema = Schema(std::move(columns));
+  p->left = std::move(child);
+  p->exprs = std::move(exprs);
+  return p;
+}
+
+PlanPtr MakeProjectColumns(PlanPtr child, const std::vector<int>& columns) {
+  std::vector<ExprPtr> exprs;
+  std::vector<Column> names;
+  for (int c : columns) {
+    exprs.push_back(Col(c, child->schema.at(static_cast<size_t>(c)).name));
+    names.push_back(child->schema.at(static_cast<size_t>(c)));
+  }
+  return MakeProject(std::move(child), std::move(exprs), std::move(names));
+}
+
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, ExprPtr predicate) {
+  auto p = NewPlan(PlanKind::kJoin);
+  p->schema = Schema::Concat(left->schema, right->schema);
+  p->left = std::move(left);
+  p->right = std::move(right);
+  p->predicate = std::move(predicate);
+  return p;
+}
+
+PlanPtr MakeUnionAll(PlanPtr left, PlanPtr right) {
+  RequireSameArity(left, right, "UnionAll");
+  auto p = NewPlan(PlanKind::kUnionAll);
+  p->schema = left->schema;
+  p->left = std::move(left);
+  p->right = std::move(right);
+  return p;
+}
+
+PlanPtr MakeExceptAll(PlanPtr left, PlanPtr right) {
+  RequireSameArity(left, right, "ExceptAll");
+  auto p = NewPlan(PlanKind::kExceptAll);
+  p->schema = left->schema;
+  p->left = std::move(left);
+  p->right = std::move(right);
+  return p;
+}
+
+PlanPtr MakeAntiJoin(PlanPtr left, PlanPtr right) {
+  RequireSameArity(left, right, "AntiJoin");
+  auto p = NewPlan(PlanKind::kAntiJoin);
+  p->schema = left->schema;
+  p->left = std::move(left);
+  p->right = std::move(right);
+  return p;
+}
+
+PlanPtr MakeAggregate(PlanPtr child, std::vector<ExprPtr> group_exprs,
+                      std::vector<Column> group_names,
+                      std::vector<AggExpr> aggs) {
+  if (group_exprs.size() != group_names.size()) {
+    throw EngineError("Aggregate: group expression/name count mismatch");
+  }
+  auto p = NewPlan(PlanKind::kAggregate);
+  Schema schema(std::move(group_names));
+  for (const AggExpr& a : aggs) schema.Append(Column(a.name));
+  p->schema = std::move(schema);
+  p->left = std::move(child);
+  p->exprs = std::move(group_exprs);
+  p->aggs = std::move(aggs);
+  return p;
+}
+
+PlanPtr MakeDistinct(PlanPtr child) {
+  auto p = NewPlan(PlanKind::kDistinct);
+  p->schema = child->schema;
+  p->left = std::move(child);
+  return p;
+}
+
+PlanPtr MakeSort(PlanPtr child, std::vector<SortKey> keys) {
+  auto p = NewPlan(PlanKind::kSort);
+  p->schema = child->schema;
+  p->left = std::move(child);
+  p->sort_keys = std::move(keys);
+  return p;
+}
+
+PlanPtr MakeCoalesce(PlanPtr child, CoalesceImpl impl) {
+  if (child->schema.size() < 2) {
+    throw EngineError("Coalesce requires a period-encoded input");
+  }
+  auto p = NewPlan(PlanKind::kCoalesce);
+  p->schema = child->schema;
+  p->left = std::move(child);
+  p->coalesce_impl = impl;
+  return p;
+}
+
+PlanPtr MakeSplit(PlanPtr left, PlanPtr right, std::vector<int> group_cols) {
+  RequireSameArity(left, right, "Split");
+  if (left->schema.size() < 2) {
+    throw EngineError("Split requires period-encoded inputs");
+  }
+  auto p = NewPlan(PlanKind::kSplit);
+  p->schema = left->schema;
+  p->left = std::move(left);
+  p->right = std::move(right);
+  p->split_group = std::move(group_cols);
+  return p;
+}
+
+PlanPtr MakeSplitAggregate(PlanPtr child, std::vector<int> group_cols,
+                           std::vector<AggExpr> aggs, bool gap_rows,
+                           TimeDomain domain, bool pre_aggregate) {
+  auto p = NewPlan(PlanKind::kSplitAggregate);
+  Schema schema;
+  for (int c : group_cols) {
+    schema.Append(child->schema.at(static_cast<size_t>(c)));
+  }
+  for (const AggExpr& a : aggs) schema.Append(Column(a.name));
+  schema.Append(Column("a_begin"));
+  schema.Append(Column("a_end"));
+  p->schema = std::move(schema);
+  p->left = std::move(child);
+  p->split_group = std::move(group_cols);
+  p->aggs = std::move(aggs);
+  p->gap_rows = gap_rows;
+  p->domain = domain;
+  p->pre_aggregate = pre_aggregate;
+  return p;
+}
+
+PlanPtr MakeTimeslice(PlanPtr child, TimePoint t) {
+  if (child->schema.size() < 2) {
+    throw EngineError("Timeslice requires a period-encoded input");
+  }
+  auto p = NewPlan(PlanKind::kTimeslice);
+  p->schema = child->schema.Prefix(child->schema.size() - 2);
+  p->left = std::move(child);
+  p->slice_time = t;
+  return p;
+}
+
+bool ContainsKind(const PlanPtr& plan, PlanKind kind) {
+  if (plan == nullptr) return false;
+  if (plan->kind == kind) return true;
+  return ContainsKind(plan->left, kind) || ContainsKind(plan->right, kind);
+}
+
+int CountKind(const PlanPtr& plan, PlanKind kind) {
+  if (plan == nullptr) return 0;
+  return (plan->kind == kind ? 1 : 0) + CountKind(plan->left, kind) +
+         CountKind(plan->right, kind);
+}
+
+}  // namespace periodk

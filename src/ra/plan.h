@@ -1,0 +1,138 @@
+// Logical relational algebra plans.  REWR (paper Fig. 4) is a
+// plan-to-plan transformation; the engine executor interprets plans over
+// a catalog of materialized relations, and the annotated-model
+// evaluators interpret the same plans over K-relations.
+//
+// Temporal-encoding invariant: every relation that encodes an
+// N^T-relation (PERIODENC, Def 8.1) carries its interval endpoints in
+// the *last two* columns (a_begin, a_end).
+#ifndef PERIODK_RA_PLAN_H_
+#define PERIODK_RA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/agg.h"
+#include "engine/expr.h"
+#include "engine/relation.h"
+#include "engine/schema.h"
+#include "temporal/interval.h"
+
+namespace periodk {
+
+enum class PlanKind {
+  kScan,
+  kConstant,
+  kSelect,
+  kProject,
+  kJoin,
+  kUnionAll,
+  kExceptAll,
+  kAggregate,
+  kDistinct,
+  kSort,
+  // Exact-row anti join: left rows with no equal row in the right input
+  // (used by the buggy NOT EXISTS difference of the baselines).
+  kAntiJoin,
+  // Temporal operators over PERIODENC-encoded relations:
+  kCoalesce,        // multiset coalescing C (paper Def 8.2)
+  kSplit,           // split operator N_G (paper Def 8.3)
+  kSplitAggregate,  // split fused with (pre-)aggregation (paper Sec. 9)
+  kTimeslice,       // tau_T: snapshot extraction
+};
+
+const char* PlanKindName(PlanKind kind);
+
+/// Which implementation the coalesce operator uses (paper Sec. 10.2
+/// compares the SQL/analytic-window implementation across DBMSs; the
+/// native sweep is the "inside the kernel" implementation the paper
+/// proposes as future work).
+enum class CoalesceImpl { kNative, kWindow };
+
+/// One aggregate expression: func(arg) named `name`; arg is null for
+/// count(*).
+struct AggExpr {
+  AggFunc func = AggFunc::kCountStar;
+  ExprPtr arg;
+  std::string name;
+};
+
+struct SortKey {
+  int column = 0;
+  bool ascending = true;
+};
+
+class Plan;
+using PlanPtr = std::shared_ptr<const Plan>;
+
+class Plan {
+ public:
+  PlanKind kind = PlanKind::kScan;
+  Schema schema;  // output schema
+  PlanPtr left;
+  PlanPtr right;
+
+  std::string table;                         // kScan
+  std::shared_ptr<const Relation> constant;  // kConstant
+  ExprPtr predicate;                         // kSelect, kJoin
+  std::vector<ExprPtr> exprs;                // kProject / kAggregate groups
+  std::vector<AggExpr> aggs;                 // kAggregate, kSplitAggregate
+  std::vector<int> split_group;    // kSplit / kSplitAggregate: group cols
+  std::vector<SortKey> sort_keys;  // kSort
+  TimePoint slice_time = 0;        // kTimeslice
+  CoalesceImpl coalesce_impl = CoalesceImpl::kNative;  // kCoalesce
+  // kSplitAggregate without groups emits rows for *every* elementary
+  // segment of the domain, including gaps (count = 0 / sum = NULL);
+  // this implements the union-with-neutral-tuple trick of REWR's
+  // aggregation rule (Fig. 4) in fused form.
+  bool gap_rows = false;
+  TimeDomain domain;  // kSplitAggregate with gap_rows
+  // kSplitAggregate: pre-aggregate per (group, begin, end) before the
+  // endpoint sweep (paper Sec. 9 optimization); false = ablation mode.
+  bool pre_aggregate = true;
+
+  /// Pretty tree rendering for debugging / EXPLAIN.
+  std::string ToString(int indent = 0) const;
+};
+
+// --- Builders (compute output schemas, validate arities). ------------------
+
+PlanPtr MakeScan(std::string table, Schema schema);
+PlanPtr MakeConstant(Relation relation);
+PlanPtr MakeSelect(PlanPtr child, ExprPtr predicate);
+/// Output column i is exprs[i] named columns[i].
+PlanPtr MakeProject(PlanPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<Column> columns);
+/// Convenience: project onto existing columns by index.
+PlanPtr MakeProjectColumns(PlanPtr child, const std::vector<int>& columns);
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, ExprPtr predicate);
+PlanPtr MakeUnionAll(PlanPtr left, PlanPtr right);
+PlanPtr MakeExceptAll(PlanPtr left, PlanPtr right);
+PlanPtr MakeAntiJoin(PlanPtr left, PlanPtr right);
+/// Output schema: group columns (named after group_names) then one
+/// column per aggregate.
+PlanPtr MakeAggregate(PlanPtr child, std::vector<ExprPtr> group_exprs,
+                      std::vector<Column> group_names,
+                      std::vector<AggExpr> aggs);
+PlanPtr MakeDistinct(PlanPtr child);
+PlanPtr MakeSort(PlanPtr child, std::vector<SortKey> keys);
+PlanPtr MakeCoalesce(PlanPtr child, CoalesceImpl impl = CoalesceImpl::kNative);
+/// N_G(left, right): splits left's intervals at the endpoints of
+/// group-mates in left UNION right; schema = left's schema.
+PlanPtr MakeSplit(PlanPtr left, PlanPtr right, std::vector<int> group_cols);
+/// Fused split + aggregation; output (group cols..., aggs..., begin, end).
+PlanPtr MakeSplitAggregate(PlanPtr child, std::vector<int> group_cols,
+                           std::vector<AggExpr> aggs, bool gap_rows,
+                           TimeDomain domain, bool pre_aggregate = true);
+PlanPtr MakeTimeslice(PlanPtr child, TimePoint t);
+
+/// True if the plan subtree contains a node of the given kind.
+bool ContainsKind(const PlanPtr& plan, PlanKind kind);
+
+/// Number of nodes of the given kind in the subtree.
+int CountKind(const PlanPtr& plan, PlanKind kind);
+
+}  // namespace periodk
+
+#endif  // PERIODK_RA_PLAN_H_

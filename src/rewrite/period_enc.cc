@@ -1,0 +1,61 @@
+#include "rewrite/period_enc.h"
+
+#include "common/status.h"
+
+namespace periodk {
+
+Schema EncodedSchema(const Schema& snapshot_schema) {
+  Schema schema = snapshot_schema;
+  schema.Append(Column(kBeginColumn));
+  schema.Append(Column(kEndColumn));
+  return schema;
+}
+
+Relation PeriodEnc(const PeriodKRelation<NatSemiring>& r,
+                   const Schema& snapshot_schema) {
+  Relation out(EncodedSchema(snapshot_schema));
+  for (const auto& [tuple, te] : r.tuples()) {
+    if (tuple.size() != snapshot_schema.size()) {
+      throw EngineError("PeriodEnc: tuple arity does not match schema");
+    }
+    for (const auto& [interval, mult] : te.entries()) {
+      for (int64_t m = 0; m < mult; ++m) {
+        Row row = tuple;
+        row.push_back(Value::Int(interval.begin));
+        row.push_back(Value::Int(interval.end));
+        out.AddRow(std::move(row));
+      }
+    }
+  }
+  return out;
+}
+
+PeriodKRelation<NatSemiring> PeriodDec(const Relation& r,
+                                       const TimeDomain& domain) {
+  if (r.schema().size() < 2) {
+    throw EngineError("PeriodDec: input is not period-encoded");
+  }
+  size_t nattr = r.schema().size() - 2;
+  NatSemiring n;
+  PeriodSemiring<NatSemiring> nt(n, domain);
+  std::map<Row, TemporalElement<NatSemiring>, RowLess> raw;
+  for (const Row& row : r.rows()) {
+    TimePoint b = row[nattr].AsInt();
+    TimePoint e = row[nattr + 1].AsInt();
+    if (b >= e) continue;
+    Row tuple(row.begin(), row.begin() + static_cast<long>(nattr));
+    raw[tuple].Add(Interval(b, e), 1);
+  }
+  PeriodKRelation<NatSemiring> out(nt);
+  for (auto& [tuple, te] : raw) {
+    out.Set(tuple, Coalesce(n, te));
+  }
+  return out;
+}
+
+bool SnapshotEquivalentEncodings(const Relation& a, const Relation& b,
+                                 const TimeDomain& domain) {
+  return PeriodDec(a, domain).Equal(PeriodDec(b, domain));
+}
+
+}  // namespace periodk

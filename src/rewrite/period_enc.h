@@ -1,0 +1,41 @@
+// PERIODENC / PERIODENC^{-1} (paper Def 8.1): the bridge between the
+// logical model (N^T-relations) and the implementation (SQL period
+// relations, i.e. engine::Relation with the interval endpoints in the
+// last two columns).  A tuple annotated with {I1 -> m1, I2 -> m2, ...}
+// becomes m1 duplicates carrying I1's endpoints, m2 duplicates carrying
+// I2's endpoints, and so on.
+#ifndef PERIODK_REWRITE_PERIOD_ENC_H_
+#define PERIODK_REWRITE_PERIOD_ENC_H_
+
+#include "annotated/period_k_relation.h"
+#include "engine/relation.h"
+#include "semiring/nat_semiring.h"
+
+namespace periodk {
+
+/// Names used for the appended temporal attributes.
+inline constexpr const char* kBeginColumn = "a_begin";
+inline constexpr const char* kEndColumn = "a_end";
+
+/// Appends "a_begin"/"a_end" columns to a snapshot schema.
+Schema EncodedSchema(const Schema& snapshot_schema);
+
+/// PERIODENC: one row per (interval -> multiplicity m) entry, duplicated
+/// m times.  `snapshot_schema` names the non-temporal attributes.
+Relation PeriodEnc(const PeriodKRelation<NatSemiring>& r,
+                   const Schema& snapshot_schema);
+
+/// PERIODENC^{-1}: interprets each row as a singleton interval with
+/// multiplicity 1, sums per tuple, and coalesces -- yielding the unique
+/// N^T-relation that is snapshot-equivalent to the encoding.
+PeriodKRelation<NatSemiring> PeriodDec(const Relation& r,
+                                       const TimeDomain& domain);
+
+/// True iff the two encoded relations represent snapshot-equivalent
+/// N^T-relations (equal coalesced decodings).
+bool SnapshotEquivalentEncodings(const Relation& a, const Relation& b,
+                                 const TimeDomain& domain);
+
+}  // namespace periodk
+
+#endif  // PERIODK_REWRITE_PERIOD_ENC_H_

@@ -1,0 +1,99 @@
+// REWR (paper Fig. 4): reduces a query with snapshot semantics over
+// N^T-relations to an ordinary multiset query over PERIODENC-encoded
+// period relations.  The input plan is expressed over *snapshot*
+// schemas (no temporal columns); the output plan is expressed over
+// encoded relations whose last two columns are the interval endpoints.
+//
+// The rewriter implements three semantics:
+//
+//  * kPeriodK -- the paper's provably correct semantics: coalescing for
+//    a unique encoding, split-based difference with bag semantics
+//    (fixes the BD bug), aggregation with gap rows via the
+//    union-with-neutral-tuple rule or the fused split+aggregate
+//    operator (fixes the AG bug).
+//  * kAlignment -- models the PG-Nat comparator [16, 18]: align
+//    (split) then apply standard operators; *set*-semantics difference
+//    (BD bug), no gap rows (AG bug), no coalescing (non-unique
+//    encoding), no pre-aggregation.
+//  * kIntervalPreservation -- models ATSQL [9]: like alignment for
+//    RA+, difference as bag-preserving NOT EXISTS (BD bug), no gap rows
+//    (AG bug), non-unique encoding.
+//  * kTeradata -- models Teradata's statement modifiers [45, 2]: gap
+//    rows *with* grouping but not without (the inverse of
+//    snapshot-reducibility; still the AG bug), no snapshot difference
+//    (N/A in the paper's Table 1), optional coalescing not applied
+//    (non-unique encoding).
+//
+// Options toggle the Section 9 optimizations for the ablation study:
+// coalesce hoisting (one final C instead of one per operator, justified
+// by Lemma 6.1) and pre-aggregation inside split.
+#ifndef PERIODK_REWRITE_REWRITER_H_
+#define PERIODK_REWRITE_REWRITER_H_
+
+#include <map>
+#include <string>
+
+#include "ra/plan.h"
+#include "temporal/interval.h"
+
+namespace periodk {
+
+enum class SnapshotSemantics {
+  kPeriodK,
+  kAlignment,
+  kIntervalPreservation,
+  kTeradata,
+};
+
+const char* SnapshotSemanticsName(SnapshotSemantics semantics);
+
+struct RewriteOptions {
+  SnapshotSemantics semantics = SnapshotSemantics::kPeriodK;
+  /// Apply coalescing once at the top instead of after every operator.
+  bool hoist_coalesce = true;
+  /// Use the fused split+aggregate operator instead of split followed by
+  /// a standard aggregation.
+  bool fuse_aggregation = true;
+  /// Pre-aggregate per (group, begin, end) inside the fused operator.
+  bool pre_aggregate = true;
+  /// Apply the final coalesce that makes the output encoding unique.
+  bool final_coalesce = true;
+  CoalesceImpl coalesce_impl = CoalesceImpl::kNative;
+};
+
+class SnapshotRewriter {
+ public:
+  /// `encoded_tables` maps a table name appearing in Scan nodes to the
+  /// plan producing its encoding (used by the middleware when a period
+  /// table stores its interval columns somewhere other than the last
+  /// two positions).  Unmapped scans default to the table itself with
+  /// (a_begin, a_end) appended.
+  SnapshotRewriter(TimeDomain domain, RewriteOptions options = {},
+                   std::map<std::string, PlanPtr> encoded_tables = {});
+
+  /// Rewrites a snapshot query.  Result plan evaluates to the
+  /// PERIODENC encoding of the query's N^T result (for kPeriodK; the
+  /// baseline semantics yield their respective buggy encodings).
+  PlanPtr Rewrite(const PlanPtr& query) const;
+
+  const TimeDomain& domain() const { return domain_; }
+  const RewriteOptions& options() const { return options_; }
+
+ private:
+  PlanPtr RewriteNode(const PlanPtr& q) const;
+  PlanPtr MaybeCoalesce(PlanPtr p) const;
+  PlanPtr RewriteScan(const PlanPtr& q) const;
+  PlanPtr RewriteConstant(const PlanPtr& q) const;
+  PlanPtr RewriteJoin(const PlanPtr& q) const;
+  PlanPtr RewriteDifference(const PlanPtr& q) const;
+  PlanPtr RewriteAggregate(const PlanPtr& q) const;
+  PlanPtr RewriteDistinct(const PlanPtr& q) const;
+
+  TimeDomain domain_;
+  RewriteOptions options_;
+  std::map<std::string, PlanPtr> encoded_tables_;
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_REWRITE_REWRITER_H_

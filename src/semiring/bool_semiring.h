@@ -1,0 +1,37 @@
+// The boolean semiring B = ({false,true}, or, and, false, true):
+// set semantics.  B is an m-semiring; its monus is "and not", which makes
+// difference over B-relations set difference (paper Section 7.1).
+#ifndef PERIODK_SEMIRING_BOOL_SEMIRING_H_
+#define PERIODK_SEMIRING_BOOL_SEMIRING_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace periodk {
+
+class BoolSemiring {
+ public:
+  using Value = bool;
+
+  Value Zero() const { return false; }
+  Value One() const { return true; }
+  Value Plus(Value a, Value b) const { return a || b; }
+  Value Times(Value a, Value b) const { return a && b; }
+  bool Equal(Value a, Value b) const { return a == b; }
+
+  /// Natural order: false <= true (B is naturally ordered).
+  bool NaturalLeq(Value a, Value b) const { return !a || b; }
+  /// a monus b = a and not b (set difference semantics).
+  Value Monus(Value a, Value b) const { return a && !b; }
+
+  std::string ToString(Value a) const { return a ? "true" : "false"; }
+  std::string Name() const { return "B"; }
+
+  /// Random element for property tests.
+  Value RandomValue(Rng& rng) const { return rng.Chance(0.5); }
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_SEMIRING_BOOL_SEMIRING_H_

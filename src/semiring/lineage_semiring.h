@@ -1,0 +1,72 @@
+// The lineage (which-provenance) semiring
+//   Lin = (P(X) + bottom, union*, union*, bottom, {})
+// where bottom absorbs multiplication and is neutral for addition.
+// Annotating tuples with lineage tracks which input tuples contributed to
+// each output tuple; combined with the period semiring construction this
+// yields *temporal provenance*: which inputs contribute when.  Included
+// to demonstrate that the framework works for any semiring K (paper
+// Section 11 lists provenance as an application).  Lin has no
+// well-defined monus (Amsterdamer et al., TaPP'11), so it exercises the
+// RA+-only path.
+#ifndef PERIODK_SEMIRING_LINEAGE_SEMIRING_H_
+#define PERIODK_SEMIRING_LINEAGE_SEMIRING_H_
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace periodk {
+
+class LineageSemiring {
+ public:
+  /// nullopt is the annihilating zero (bottom); otherwise a set of input
+  /// tuple identifiers.
+  using Value = std::optional<std::set<int>>;
+
+  Value Zero() const { return std::nullopt; }
+  Value One() const { return std::set<int>{}; }
+
+  Value Plus(const Value& a, const Value& b) const {
+    if (!a.has_value()) return b;
+    if (!b.has_value()) return a;
+    return Merge(*a, *b);
+  }
+
+  Value Times(const Value& a, const Value& b) const {
+    if (!a.has_value() || !b.has_value()) return std::nullopt;
+    return Merge(*a, *b);
+  }
+
+  bool Equal(const Value& a, const Value& b) const { return a == b; }
+
+  std::string ToString(const Value& a) const {
+    if (!a.has_value()) return "_|_";
+    return StrCat("{",
+                  JoinMapped(*a, ",",
+                             [](int id) { return std::to_string(id); }),
+                  "}");
+  }
+  std::string Name() const { return "Lin"; }
+
+  Value RandomValue(Rng& rng) const {
+    if (rng.Chance(0.2)) return std::nullopt;
+    std::set<int> s;
+    uint64_t n = rng.Uniform(4);
+    for (uint64_t i = 0; i < n; ++i) s.insert(static_cast<int>(rng.Uniform(8)));
+    return s;
+  }
+
+ private:
+  static std::set<int> Merge(const std::set<int>& a, const std::set<int>& b) {
+    std::set<int> out = a;
+    out.insert(b.begin(), b.end());
+    return out;
+  }
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_SEMIRING_LINEAGE_SEMIRING_H_

@@ -1,0 +1,43 @@
+// The semiring of natural numbers N = (N, +, *, 0, 1): multiset (bag)
+// semantics, the central semiring of the paper.  N is an m-semiring with
+// truncating subtraction as monus, which makes difference over
+// N-relations SQL's EXCEPT ALL (paper Section 7.1).
+#ifndef PERIODK_SEMIRING_NAT_SEMIRING_H_
+#define PERIODK_SEMIRING_NAT_SEMIRING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+
+namespace periodk {
+
+class NatSemiring {
+ public:
+  /// Multiplicities.  int64_t (not uint64_t) so accidental underflow in
+  /// client code is detectable; all operations keep values >= 0.
+  using Value = int64_t;
+
+  Value Zero() const { return 0; }
+  Value One() const { return 1; }
+  Value Plus(Value a, Value b) const { return a + b; }
+  Value Times(Value a, Value b) const { return a * b; }
+  bool Equal(Value a, Value b) const { return a == b; }
+
+  /// Natural order of N is the usual order on naturals.
+  bool NaturalLeq(Value a, Value b) const { return a <= b; }
+  /// Truncating minus: max(0, a - b).
+  Value Monus(Value a, Value b) const { return a > b ? a - b : 0; }
+
+  std::string ToString(Value a) const { return std::to_string(a); }
+  std::string Name() const { return "N"; }
+
+  /// Random element for property tests (small values keep products small).
+  Value RandomValue(Rng& rng) const {
+    return static_cast<Value>(rng.Uniform(5));
+  }
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_SEMIRING_NAT_SEMIRING_H_

@@ -1,0 +1,61 @@
+// Commutative semirings (K-relations annotation domains, Green et al.
+// PODS'07) and m-semirings (semirings with monus, Geerts & Poggi).
+//
+// Semirings are modeled as *instances* (not purely static traits) so that
+// structures requiring runtime state -- notably the period semiring K^T,
+// which carries its time domain -- satisfy the same concept and compose
+// (e.g. PeriodSemiring<NatSemiring> is itself a Semiring and an
+// MSemiring).  This mirrors the paper's construction: for any semiring K,
+// K^T is a semiring (Thm 6.2) and inherits the monus (Thm 7.1).
+#ifndef PERIODK_SEMIRING_SEMIRING_H_
+#define PERIODK_SEMIRING_SEMIRING_H_
+
+#include <concepts>
+#include <string>
+
+namespace periodk {
+
+/// A commutative semiring (K, +, *, 0, 1): both operations commutative
+/// and associative with neutral elements, * distributes over +, and
+/// 0 * k = 0.  `Equal` must be a congruence for + and *.
+template <typename S>
+concept Semiring = requires(const S s, const typename S::Value& a,
+                            const typename S::Value& b) {
+  typename S::Value;
+  { s.Zero() } -> std::convertible_to<typename S::Value>;
+  { s.One() } -> std::convertible_to<typename S::Value>;
+  { s.Plus(a, b) } -> std::convertible_to<typename S::Value>;
+  { s.Times(a, b) } -> std::convertible_to<typename S::Value>;
+  { s.Equal(a, b) } -> std::convertible_to<bool>;
+  { s.ToString(a) } -> std::convertible_to<std::string>;
+  { s.Name() } -> std::convertible_to<std::string>;
+};
+
+/// A semiring with a well-defined monus (difference):
+///   k monus k' = smallest k'' (w.r.t. the natural order) with
+///   k <= k' + k''.
+/// Requires the semiring to be naturally ordered (k <= k' iff
+/// exists k'': k + k'' = k') and the minimum above to exist.
+template <typename S>
+concept MSemiring =
+    Semiring<S> && requires(const S s, const typename S::Value& a,
+                            const typename S::Value& b) {
+      { s.Monus(a, b) } -> std::convertible_to<typename S::Value>;
+      { s.NaturalLeq(a, b) } -> std::convertible_to<bool>;
+    };
+
+/// True iff `a` equals the additive neutral element of `s`.
+template <Semiring S>
+bool IsZero(const S& s, const typename S::Value& a) {
+  return s.Equal(a, s.Zero());
+}
+
+/// True iff `a` equals the multiplicative neutral element of `s`.
+template <Semiring S>
+bool IsOne(const S& s, const typename S::Value& a) {
+  return s.Equal(a, s.One());
+}
+
+}  // namespace periodk
+
+#endif  // PERIODK_SEMIRING_SEMIRING_H_

@@ -1,0 +1,54 @@
+// The tropical (min-plus) semiring Trop = (N + {inf}, min, +, inf, 0):
+// cost semantics -- the annotation of a query result is the minimum cost
+// over all derivations.  Trop is totally ordered by its natural order
+// (k <= k' iff min(k, k'') = k' for some k'', i.e. k' <= k numerically),
+// which admits a monus.  Included to exercise the genericity of the
+// period semiring construction over a non-N m-semiring with an
+// "inverted" natural order.
+#ifndef PERIODK_SEMIRING_TROPICAL_SEMIRING_H_
+#define PERIODK_SEMIRING_TROPICAL_SEMIRING_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/rng.h"
+
+namespace periodk {
+
+class TropicalSemiring {
+ public:
+  using Value = int64_t;
+  static constexpr Value kInfinity = std::numeric_limits<int64_t>::max();
+
+  Value Zero() const { return kInfinity; }
+  Value One() const { return 0; }
+  Value Plus(Value a, Value b) const { return a < b ? a : b; }
+  Value Times(Value a, Value b) const {
+    if (a == kInfinity || b == kInfinity) return kInfinity;
+    return a + b;
+  }
+  bool Equal(Value a, Value b) const { return a == b; }
+
+  /// Natural order: a <= b iff exists c with min(a, c) = b, i.e. b <= a
+  /// numerically.  (Infinity = 0_K is the least element, as required.)
+  bool NaturalLeq(Value a, Value b) const { return b <= a; }
+
+  /// a monus b: the <=_K-smallest (numerically largest) c with
+  /// min(b, c) <= a numerically.
+  Value Monus(Value a, Value b) const { return b <= a ? kInfinity : a; }
+
+  std::string ToString(Value a) const {
+    return a == kInfinity ? "inf" : std::to_string(a);
+  }
+  std::string Name() const { return "Trop"; }
+
+  Value RandomValue(Rng& rng) const {
+    if (rng.Chance(0.2)) return kInfinity;
+    return static_cast<Value>(rng.Uniform(20));
+  }
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_SEMIRING_TROPICAL_SEMIRING_H_

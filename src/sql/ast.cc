@@ -1,0 +1,119 @@
+#include "sql/ast.h"
+
+#include "common/str_util.h"
+
+namespace periodk {
+namespace sql {
+
+std::string SqlExpr::ToString() const {
+  switch (kind) {
+    case SqlExprKind::kColumnRef:
+      return qualifier.empty() ? name : qualifier + "." + name;
+    case SqlExprKind::kLiteral:
+      return literal.type() == ValueType::kString
+                 ? StrCat("'", literal.ToString(), "'")
+                 : literal.ToString();
+    case SqlExprKind::kBinary:
+      return StrCat("(", args[0]->ToString(), " ", op, " ",
+                    args[1]->ToString(), ")");
+    case SqlExprKind::kUnary:
+      return StrCat("(", op, " ", args[0]->ToString(), ")");
+    case SqlExprKind::kFuncCall:
+      return StrCat(name, "(",
+                    JoinMapped(args, ", ",
+                               [](const SqlExprPtr& a) {
+                                 return a->ToString();
+                               }),
+                    ")");
+    case SqlExprKind::kStar:
+      return "*";
+    case SqlExprKind::kCase: {
+      std::string out = "CASE";
+      size_t pairs = (args.size() - (has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        out += StrCat(" WHEN ", args[2 * i]->ToString(), " THEN ",
+                      args[2 * i + 1]->ToString());
+      }
+      if (has_else) out += StrCat(" ELSE ", args.back()->ToString());
+      return out + " END";
+    }
+    case SqlExprKind::kIn: {
+      std::vector<SqlExprPtr> rest(args.begin() + 1, args.end());
+      return StrCat(args[0]->ToString(), negated ? " NOT IN (" : " IN (",
+                    JoinMapped(rest, ", ",
+                               [](const SqlExprPtr& a) {
+                                 return a->ToString();
+                               }),
+                    ")");
+    }
+    case SqlExprKind::kBetween:
+      return StrCat(args[0]->ToString(),
+                    negated ? " NOT BETWEEN " : " BETWEEN ",
+                    args[1]->ToString(), " AND ", args[2]->ToString());
+    case SqlExprKind::kIsNull:
+      return StrCat(args[0]->ToString(),
+                    negated ? " IS NOT NULL" : " IS NULL");
+    case SqlExprKind::kLike:
+      return StrCat(args[0]->ToString(), negated ? " NOT LIKE " : " LIKE ",
+                    args[1]->ToString());
+  }
+  return "?";
+}
+
+SqlExprPtr MakeColumnRef(std::string qualifier, std::string name) {
+  auto e = std::make_shared<SqlExpr>();
+  e->kind = SqlExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->name = std::move(name);
+  return e;
+}
+
+SqlExprPtr MakeSqlLiteral(Value v) {
+  auto e = std::make_shared<SqlExpr>();
+  e->kind = SqlExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+SqlExprPtr MakeBinary(std::string op, SqlExprPtr l, SqlExprPtr r) {
+  auto e = std::make_shared<SqlExpr>();
+  e->kind = SqlExprKind::kBinary;
+  e->op = ToLower(op);
+  e->args = {std::move(l), std::move(r)};
+  return e;
+}
+
+SqlExprPtr MakeUnary(std::string op, SqlExprPtr child) {
+  auto e = std::make_shared<SqlExpr>();
+  e->kind = SqlExprKind::kUnary;
+  e->op = ToLower(op);
+  e->args = {std::move(child)};
+  return e;
+}
+
+SqlExprPtr MakeFuncCall(std::string name, std::vector<SqlExprPtr> args) {
+  auto e = std::make_shared<SqlExpr>();
+  e->kind = SqlExprKind::kFuncCall;
+  e->name = ToLower(name);
+  e->args = std::move(args);
+  return e;
+}
+
+bool IsAggregateName(const std::string& lower_name) {
+  return lower_name == "count" || lower_name == "sum" ||
+         lower_name == "avg" || lower_name == "min" || lower_name == "max";
+}
+
+bool ContainsAggregate(const SqlExprPtr& expr) {
+  if (expr == nullptr) return false;
+  if (expr->kind == SqlExprKind::kFuncCall && IsAggregateName(expr->name)) {
+    return true;
+  }
+  for (const SqlExprPtr& a : expr->args) {
+    if (ContainsAggregate(a)) return true;
+  }
+  return false;
+}
+
+}  // namespace sql
+}  // namespace periodk

@@ -1,0 +1,31 @@
+// SQL tokenizer: identifiers/keywords (case-insensitive), integer and
+// float literals, single-quoted strings ('' escapes a quote), operators
+// and punctuation, -- line comments.
+#ifndef PERIODK_SQL_LEXER_H_
+#define PERIODK_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace periodk {
+namespace sql {
+
+enum class TokenType { kIdent, kInt, kFloat, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // identifier as written / symbol / string contents
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace sql
+}  // namespace periodk
+
+#endif  // PERIODK_SQL_LEXER_H_

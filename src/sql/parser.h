@@ -1,0 +1,21 @@
+// Recursive-descent parser for the middleware dialect (see sql/ast.h).
+#ifndef PERIODK_SQL_PARSER_H_
+#define PERIODK_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace periodk {
+namespace sql {
+
+/// Parses one statement:
+///   [SEQ VT (] query [)] [ORDER BY ...]
+/// where query is a UNION ALL / EXCEPT ALL tree of SELECT blocks.
+Result<Statement> Parse(const std::string& sql);
+
+}  // namespace sql
+}  // namespace periodk
+
+#endif  // PERIODK_SQL_PARSER_H_

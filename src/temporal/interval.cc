@@ -1,0 +1,15 @@
+#include "temporal/interval.h"
+
+#include "common/str_util.h"
+
+namespace periodk {
+
+std::string TimeDomain::ToString() const {
+  return StrCat("T=[", tmin, ", ", tmax, ")");
+}
+
+std::string Interval::ToString() const {
+  return StrCat("[", begin, ", ", end, ")");
+}
+
+}  // namespace periodk

@@ -1,0 +1,82 @@
+// Time points, time domains and half-open intervals [Tb, Te)
+// (paper Section 5.1).  The time domain T is a finite, totally ordered
+// set of integer time points; Tmax is exclusive.
+#ifndef PERIODK_TEMPORAL_INTERVAL_H_
+#define PERIODK_TEMPORAL_INTERVAL_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace periodk {
+
+using TimePoint = int64_t;
+
+/// The finite time domain T = [tmin, tmax).  All intervals of a temporal
+/// database must lie within its domain.
+struct TimeDomain {
+  TimePoint tmin = 0;
+  TimePoint tmax = 0;
+
+  TimePoint size() const { return tmax - tmin; }
+  bool Contains(TimePoint t) const { return tmin <= t && t < tmax; }
+  bool operator==(const TimeDomain&) const = default;
+  std::string ToString() const;
+};
+
+/// A half-open interval [begin, end) with begin < end, denoting the set
+/// of contiguous time points {T | begin <= T < end}.
+struct Interval {
+  TimePoint begin = 0;
+  TimePoint end = 0;
+
+  Interval() = default;
+  Interval(TimePoint b, TimePoint e) : begin(b), end(e) {
+    assert(b < e && "interval must be non-empty");
+  }
+
+  TimePoint duration() const { return end - begin; }
+  bool Contains(TimePoint t) const { return begin <= t && t < end; }
+  bool Contains(const Interval& other) const {
+    return begin <= other.begin && other.end <= end;
+  }
+  bool Overlaps(const Interval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  /// adj(I1, I2) from the paper: the intervals meet end-to-end.
+  bool Adjacent(const Interval& other) const {
+    return end == other.begin || other.end == begin;
+  }
+
+  /// Intersection as a set of time points; nullopt when disjoint.
+  static std::optional<Interval> Intersect(const Interval& a,
+                                           const Interval& b) {
+    TimePoint lo = a.begin > b.begin ? a.begin : b.begin;
+    TimePoint hi = a.end < b.end ? a.end : b.end;
+    if (lo >= hi) return std::nullopt;
+    return Interval(lo, hi);
+  }
+
+  /// Union as a set of time points; defined only when the inputs overlap
+  /// or are adjacent (paper's convention: empty otherwise).
+  static std::optional<Interval> Union(const Interval& a, const Interval& b) {
+    if (!a.Overlaps(b) && !a.Adjacent(b)) return std::nullopt;
+    TimePoint lo = a.begin < b.begin ? a.begin : b.begin;
+    TimePoint hi = a.end > b.end ? a.end : b.end;
+    return Interval(lo, hi);
+  }
+
+  bool operator==(const Interval&) const = default;
+  /// Orders by begin, then end; used for normal-form entry ordering.
+  bool operator<(const Interval& other) const {
+    return begin != other.begin ? begin < other.begin : end < other.end;
+  }
+
+  /// "[b, e)".
+  std::string ToString() const;
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_TEMPORAL_INTERVAL_H_

@@ -1,0 +1,100 @@
+// The period semiring K^T (paper Def 6.1): for any commutative semiring
+// K and finite time domain T, the structure over *coalesced* temporal
+// K-elements with
+//   a +_{K^T} b = C_K(a +_KP b)      (pointwise addition, then coalesce)
+//   a *_{K^T} b = C_K(a *_KP b)      (overlap products, then coalesce)
+//   0 = {} (all intervals -> 0_K),   1 = {[Tmin, Tmax) -> 1_K}
+// K^T is a semiring (Thm 6.2); if K is an m-semiring then so is K^T
+// (Thm 7.1) with a -_{K^T} b = C_K(a -_KP b); and the timeslice operator
+// tau_T is an (m-)semiring homomorphism K^T -> K (Thms 6.3 / 7.2), which
+// is what makes period K-relations snapshot-reducible.
+//
+// PeriodSemiring<K> itself satisfies the Semiring (and, when applicable,
+// MSemiring) concept, so all generic K-relation machinery -- including
+// this very construction -- composes over it.
+#ifndef PERIODK_TEMPORAL_PERIOD_SEMIRING_H_
+#define PERIODK_TEMPORAL_PERIOD_SEMIRING_H_
+
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "semiring/semiring.h"
+#include "temporal/temporal_element.h"
+
+namespace periodk {
+
+template <Semiring K>
+class PeriodSemiring {
+ public:
+  using Base = K;
+  using Value = TemporalElement<K>;
+
+  PeriodSemiring(K base, TimeDomain domain)
+      : base_(std::move(base)), domain_(domain) {}
+
+  const K& base() const { return base_; }
+  const TimeDomain& domain() const { return domain_; }
+
+  Value Zero() const { return Value(); }
+
+  Value One() const {
+    return Value(Interval(domain_.tmin, domain_.tmax), base_.One());
+  }
+
+  Value Plus(const Value& a, const Value& b) const {
+    return periodk::Coalesce(base_, PointwisePlus(base_, a, b));
+  }
+
+  Value Times(const Value& a, const Value& b) const {
+    return periodk::Coalesce(base_, PointwiseTimes(base_, a, b));
+  }
+
+  /// Structural equality; sound because K^T values are maintained in
+  /// coalesced normal form, which is unique per Lemma 5.1.
+  bool Equal(const Value& a, const Value& b) const {
+    return StructurallyEqual(base_, a, b);
+  }
+
+  Value Monus(const Value& a, const Value& b) const
+    requires MSemiring<K>
+  {
+    return periodk::Coalesce(base_, PointwiseMonus(base_, a, b));
+  }
+
+  bool NaturalLeq(const Value& a, const Value& b) const
+    requires MSemiring<K>
+  {
+    return TemporalNaturalLeq(base_, a, b);
+  }
+
+  /// Normalizes an arbitrary temporal element into K^T.
+  Value Coalesce(const Value& raw) const {
+    return periodk::Coalesce(base_, raw);
+  }
+
+  /// The homomorphism tau_T : K^T -> K (Thm 6.3 / 7.2).
+  typename K::Value TimesliceAt(const Value& te, TimePoint t) const {
+    return Timeslice(base_, te, t);
+  }
+
+  std::string ToString(const Value& te) const {
+    return periodk::ToString(base_, te);
+  }
+
+  std::string Name() const { return base_.Name() + "^T"; }
+
+  /// Random *coalesced* element for property tests.
+  Value RandomValue(Rng& rng) const {
+    return periodk::Coalesce(
+        base_, RandomTemporalElement(base_, domain_, rng));
+  }
+
+ private:
+  K base_;
+  TimeDomain domain_;
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_TEMPORAL_PERIOD_SEMIRING_H_

@@ -1,0 +1,259 @@
+// Temporal K-elements (paper Section 5): functions from intervals to
+// semiring values, recording how the K-annotation of a tuple changes
+// over time.  A temporal element may map overlapping intervals to
+// non-zero values; the annotation at a time point T is the *sum* of the
+// annotations of all intervals containing T.  K-coalescing (Def 5.3)
+// computes the unique normal form: maximal non-overlapping intervals of
+// constant, non-zero annotation where adjacent intervals carry different
+// annotations.
+#ifndef PERIODK_TEMPORAL_TEMPORAL_ELEMENT_H_
+#define PERIODK_TEMPORAL_TEMPORAL_ELEMENT_H_
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "semiring/semiring.h"
+#include "temporal/interval.h"
+
+namespace periodk {
+
+/// A temporal K-element: a finite-support function I -> K represented as
+/// a list of (interval, annotation) entries.  Intervals not listed map
+/// to 0_K.  Entries may overlap (annotations add up pointwise).
+template <Semiring K>
+class TemporalElement {
+ public:
+  using Annot = typename K::Value;
+  using Entry = std::pair<Interval, Annot>;
+
+  TemporalElement() = default;
+  explicit TemporalElement(std::vector<Entry> entries)
+      : entries_(std::move(entries)) {}
+
+  /// Singleton element {interval -> annot}.
+  TemporalElement(Interval interval, Annot annot) {
+    entries_.emplace_back(interval, std::move(annot));
+  }
+
+  void Add(Interval interval, Annot annot) {
+    entries_.emplace_back(interval, std::move(annot));
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// Sorts entries by interval (normal-form entries have unique,
+  /// disjoint intervals, so this order is canonical for them).
+  void SortEntries() {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Timeslice tau_T (paper Section 5.1): the annotation valid at time t,
+/// i.e. the sum over all entries whose interval contains t.
+template <Semiring K>
+typename K::Value Timeslice(const K& k, const TemporalElement<K>& te,
+                            TimePoint t) {
+  typename K::Value out = k.Zero();
+  for (const auto& [interval, annot] : te.entries()) {
+    if (interval.Contains(t)) out = k.Plus(out, annot);
+  }
+  return out;
+}
+
+namespace internal {
+
+/// Sorted, deduplicated endpoints of all entries of all given elements.
+/// Consecutive endpoints delimit "elementary segments" on which every
+/// input element is constant.
+template <Semiring K>
+std::vector<TimePoint> CollectEndpoints(
+    std::initializer_list<const TemporalElement<K>*> elements) {
+  std::vector<TimePoint> points;
+  for (const TemporalElement<K>* te : elements) {
+    for (const auto& [interval, annot] : te->entries()) {
+      points.push_back(interval.begin);
+      points.push_back(interval.end);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+/// Sum of the annotations of all entries covering the whole segment.
+/// The segment must not cross any entry endpoint.
+template <Semiring K>
+typename K::Value SegmentValue(const K& k, const TemporalElement<K>& te,
+                               const Interval& segment) {
+  typename K::Value out = k.Zero();
+  for (const auto& [interval, annot] : te.entries()) {
+    if (interval.Contains(segment)) out = k.Plus(out, annot);
+  }
+  return out;
+}
+
+}  // namespace internal
+
+/// K-coalescing C_K (paper Def 5.3): the unique normal form.  Scans the
+/// elementary segments induced by the entry endpoints, merges adjacent
+/// segments with equal annotation and drops zero-annotated segments.
+/// The result has pairwise disjoint intervals, and any two adjacent
+/// result intervals carry different annotations (annotation
+/// changepoints, Def 5.2).
+template <Semiring K>
+TemporalElement<K> Coalesce(const K& k, const TemporalElement<K>& te) {
+  std::vector<TimePoint> points = internal::CollectEndpoints<K>({&te});
+  TemporalElement<K> out;
+  bool have_open = false;
+  Interval open;
+  typename K::Value open_annot = k.Zero();
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    Interval segment(points[i], points[i + 1]);
+    typename K::Value v = internal::SegmentValue(k, te, segment);
+    if (IsZero(k, v)) {
+      if (have_open) out.Add(open, open_annot);
+      have_open = false;
+      continue;
+    }
+    if (have_open && open.end == segment.begin && k.Equal(open_annot, v)) {
+      open.end = segment.end;
+    } else {
+      if (have_open) out.Add(open, open_annot);
+      open = segment;
+      open_annot = v;
+      have_open = true;
+    }
+  }
+  if (have_open) out.Add(open, open_annot);
+  return out;
+}
+
+/// Structural equality of two *normal form* elements: identical interval
+/// sequences with K-equal annotations.  (For raw elements this is
+/// representation equality after sorting, not snapshot-equivalence.)
+template <Semiring K>
+bool StructurallyEqual(const K& k, const TemporalElement<K>& a,
+                       const TemporalElement<K>& b) {
+  if (a.size() != b.size()) return false;
+  TemporalElement<K> sa = a, sb = b;
+  sa.SortEntries();
+  sb.SortEntries();
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (!(sa.entries()[i].first == sb.entries()[i].first)) return false;
+    if (!k.Equal(sa.entries()[i].second, sb.entries()[i].second)) return false;
+  }
+  return true;
+}
+
+/// Snapshot-equivalence (paper Section 5.1): equal timeslices at every
+/// point.  Equivalent to equality of coalesced forms (Lemma 5.1).
+template <Semiring K>
+bool SnapshotEquivalent(const K& k, const TemporalElement<K>& a,
+                        const TemporalElement<K>& b) {
+  return StructurallyEqual(k, Coalesce(k, a), Coalesce(k, b));
+}
+
+/// Pointwise addition +_KP (paper Def 6.1): the union of the entries.
+template <Semiring K>
+TemporalElement<K> PointwisePlus(const K& /*k*/, const TemporalElement<K>& a,
+                                 const TemporalElement<K>& b) {
+  std::vector<typename TemporalElement<K>::Entry> entries = a.entries();
+  entries.insert(entries.end(), b.entries().begin(), b.entries().end());
+  return TemporalElement<K>(std::move(entries));
+}
+
+/// Pointwise multiplication ._KP (paper Def 6.1): products of annotations
+/// over all pairs of overlapping intervals, valid during the overlap.
+template <Semiring K>
+TemporalElement<K> PointwiseTimes(const K& k, const TemporalElement<K>& a,
+                                  const TemporalElement<K>& b) {
+  TemporalElement<K> out;
+  for (const auto& [ia, va] : a.entries()) {
+    for (const auto& [ib, vb] : b.entries()) {
+      std::optional<Interval> overlap = Interval::Intersect(ia, ib);
+      if (overlap.has_value()) out.Add(*overlap, k.Times(va, vb));
+    }
+  }
+  return out;
+}
+
+/// Pointwise monus -_KP (paper Section 7.1).  Defined there on singleton
+/// intervals [T, T+1); evaluated here on the elementary segments on which
+/// both inputs are constant, which yields a snapshot-equivalent element
+/// (the monus is constant on each segment).  Segments where `a` is zero
+/// contribute nothing since 0 monus x = 0.
+template <MSemiring K>
+TemporalElement<K> PointwiseMonus(const K& k, const TemporalElement<K>& a,
+                                  const TemporalElement<K>& b) {
+  std::vector<TimePoint> points = internal::CollectEndpoints<K>({&a, &b});
+  TemporalElement<K> out;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    Interval segment(points[i], points[i + 1]);
+    typename K::Value va = internal::SegmentValue(k, a, segment);
+    if (IsZero(k, va)) continue;
+    typename K::Value vb = internal::SegmentValue(k, b, segment);
+    typename K::Value v = k.Monus(va, vb);
+    if (!IsZero(k, v)) out.Add(segment, v);
+  }
+  return out;
+}
+
+/// Natural order of K^T (paper Thm 7.1 proof): pointwise natural order
+/// of the base semiring at every time point.
+template <MSemiring K>
+bool TemporalNaturalLeq(const K& k, const TemporalElement<K>& a,
+                        const TemporalElement<K>& b) {
+  std::vector<TimePoint> points = internal::CollectEndpoints<K>({&a, &b});
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    Interval segment(points[i], points[i + 1]);
+    if (!k.NaturalLeq(internal::SegmentValue(k, a, segment),
+                      internal::SegmentValue(k, b, segment))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// "{}" or "{[b, e) -> v, ...}" with entries in interval order.
+template <Semiring K>
+std::string ToString(const K& k, const TemporalElement<K>& te) {
+  TemporalElement<K> sorted = te;
+  sorted.SortEntries();
+  return StrCat(
+      "{",
+      JoinMapped(sorted.entries(), ", ",
+                 [&](const typename TemporalElement<K>::Entry& e) {
+                   return StrCat(e.first.ToString(), " -> ",
+                                 k.ToString(e.second));
+                 }),
+      "}");
+}
+
+/// Random (possibly overlapping, possibly zero-containing) temporal
+/// element within `dom`, for property tests.
+template <Semiring K>
+TemporalElement<K> RandomTemporalElement(const K& k, const TimeDomain& dom,
+                                         Rng& rng, int max_entries = 4) {
+  TemporalElement<K> out;
+  int n = static_cast<int>(rng.Uniform(max_entries + 1));
+  for (int i = 0; i < n; ++i) {
+    TimePoint b = rng.Range(dom.tmin, dom.tmax - 1);
+    TimePoint e = rng.Range(b + 1, dom.tmax);
+    out.Add(Interval(b, e), k.RandomValue(rng));
+  }
+  return out;
+}
+
+}  // namespace periodk
+
+#endif  // PERIODK_TEMPORAL_TEMPORAL_ELEMENT_H_

@@ -1,0 +1,146 @@
+// Shared randomized-query and randomized-database generators for the
+// property tests.  All generated plans have arity 2 over small integer
+// domains so every operator is applicable at any nesting point.
+#ifndef PERIODK_TESTS_RANDOM_QUERY_H_
+#define PERIODK_TESTS_RANDOM_QUERY_H_
+
+#include "annotated/snapshot_k_relation.h"
+#include "common/rng.h"
+#include "engine/executor.h"
+#include "ra/plan.h"
+
+namespace periodk {
+
+struct RandomQueryConfig {
+  bool allow_aggregate = true;
+  bool allow_difference = true;
+  bool allow_distinct = true;
+};
+
+class RandomQueryGenerator {
+ public:
+  RandomQueryGenerator(Rng* rng, RandomQueryConfig config = {})
+      : rng_(rng), config_(config) {}
+
+  PlanPtr Generate(int depth) {
+    if (depth <= 0) return Scan();
+    switch (rng_->Uniform(8)) {
+      case 0:
+        return Scan();
+      case 1:
+        return MakeSelect(Generate(depth - 1), RandomPredicate());
+      case 2: {
+        PlanPtr child = Generate(depth - 1);
+        return MakeProject(child, {RandomScalar(), Col(RandomCol())},
+                           {Column("p0"), Column("p1")});
+      }
+      case 3: {
+        PlanPtr join = MakeJoin(Generate(depth - 1), Generate(depth - 1),
+                                Eq(Col(0), Col(2)));
+        return MakeProjectColumns(join, {1, 3});
+      }
+      case 4:
+        return MakeUnionAll(Generate(depth - 1), Generate(depth - 1));
+      case 5:
+        if (config_.allow_difference) {
+          return MakeExceptAll(Generate(depth - 1), Generate(depth - 1));
+        }
+        return MakeSelect(Generate(depth - 1), RandomPredicate());
+      case 6:
+        if (config_.allow_distinct) return MakeDistinct(Generate(depth - 1));
+        return Generate(depth - 1);
+      default:
+        if (config_.allow_aggregate) return Aggregate(Generate(depth - 1));
+        return MakeUnionAll(Generate(depth - 1), Scan());
+    }
+  }
+
+ private:
+  PlanPtr Scan() {
+    return MakeScan(rng_->Chance(0.5) ? "r" : "s",
+                    Schema::FromNames({"a", "b"}));
+  }
+
+  int RandomCol() { return static_cast<int>(rng_->Uniform(2)); }
+
+  ExprPtr RandomScalar() {
+    switch (rng_->Uniform(3)) {
+      case 0:
+        return Col(RandomCol());
+      case 1:
+        return LitInt(rng_->Range(0, 3));
+      default:
+        return Add(Col(RandomCol()), LitInt(rng_->Range(0, 2)));
+    }
+  }
+
+  ExprPtr RandomPredicate() {
+    CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kGe};
+    return Cmp(ops[rng_->Uniform(4)], Col(RandomCol()),
+               LitInt(rng_->Range(0, 3)));
+  }
+
+  PlanPtr Aggregate(PlanPtr child) {
+    AggFunc funcs[] = {AggFunc::kCountStar, AggFunc::kCount, AggFunc::kSum,
+                       AggFunc::kAvg, AggFunc::kMin, AggFunc::kMax};
+    AggFunc f = funcs[rng_->Uniform(6)];
+    AggExpr agg{f, f == AggFunc::kCountStar ? nullptr : Col(RandomCol()),
+                "agg"};
+    if (rng_->Chance(0.5)) {
+      return MakeAggregate(std::move(child), {Col(RandomCol(), "g")},
+                           {Column("g")}, {std::move(agg)});
+    }
+    AggExpr agg2{AggFunc::kCountStar, nullptr, "cnt"};
+    return MakeAggregate(std::move(child), {}, {},
+                         {std::move(agg), std::move(agg2)});
+  }
+
+  Rng* rng_;
+  RandomQueryConfig config_;
+};
+
+/// Random PERIODENC-encoded tables "r" and "s" for the engine path.
+inline Catalog RandomEncodedCatalog(Rng* rng, const TimeDomain& domain,
+                                    int max_rows = 12) {
+  Catalog catalog;
+  for (const char* name : {"r", "s"}) {
+    Relation rel(Schema::FromNames({"a", "b", "a_begin", "a_end"}));
+    int n = static_cast<int>(rng->Uniform(max_rows));
+    for (int i = 0; i < n; ++i) {
+      TimePoint b = rng->Range(domain.tmin, domain.tmax - 2);
+      TimePoint e = rng->Range(b + 1, domain.tmax - 1);
+      rel.AddRow({Value::Int(rng->Range(0, 3)), Value::Int(rng->Range(0, 3)),
+                  Value::Int(b), Value::Int(e)});
+    }
+    catalog.Put(name, std::move(rel));
+  }
+  return catalog;
+}
+
+/// Random snapshot K-relation with `max_tuples` distinct tuples, each
+/// holding a random annotation over a few random intervals.
+template <Semiring K>
+SnapshotKRelation<K> RandomSnapshotKRelation(const K& k,
+                                             const TimeDomain& domain,
+                                             Rng* rng, int max_tuples = 5) {
+  SnapshotKRelation<K> out(k, domain);
+  int n = static_cast<int>(rng->Uniform(max_tuples + 1));
+  for (int i = 0; i < n; ++i) {
+    Row tuple = {Value::Int(rng->Range(0, 3)), Value::Int(rng->Range(0, 3))};
+    int runs = static_cast<int>(rng->Uniform(3)) + 1;
+    for (int r = 0; r < runs; ++r) {
+      TimePoint b = rng->Range(domain.tmin, domain.tmax - 2);
+      TimePoint e = rng->Range(b + 1, domain.tmax - 1);
+      typename K::Value v = k.RandomValue(*rng);
+      for (TimePoint t = b; t < e; ++t) {
+        out.MutableAt(t).Add(tuple, v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace periodk
+
+#endif  // PERIODK_TESTS_RANDOM_QUERY_H_

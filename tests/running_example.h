@@ -1,0 +1,94 @@
+// The paper's running example (Figure 1): period relations `works`
+// (factory workers, their skills, on-duty periods) and `assign`
+// (machines requiring a worker with a given skill), over the hours of
+// 2018-01-01 encoded as T = [0, 24).
+#ifndef PERIODK_TESTS_RUNNING_EXAMPLE_H_
+#define PERIODK_TESTS_RUNNING_EXAMPLE_H_
+
+#include "engine/executor.h"
+#include "engine/relation.h"
+#include "temporal/interval.h"
+
+namespace periodk {
+
+inline constexpr TimeDomain kExampleDomain{0, 24};
+
+inline Relation WorksRelation() {
+  Relation works(
+      Schema::FromNames({"name", "skill", "a_begin", "a_end"}));
+  auto add = [&](const char* name, const char* skill, int64_t b, int64_t e) {
+    works.AddRow({Value::String(name), Value::String(skill), Value::Int(b),
+                  Value::Int(e)});
+  };
+  add("Ann", "SP", 3, 10);
+  add("Joe", "NS", 8, 16);
+  add("Sam", "SP", 8, 16);
+  add("Ann", "SP", 18, 20);
+  return works;
+}
+
+inline Relation AssignRelation() {
+  Relation assign(
+      Schema::FromNames({"mach", "skill", "a_begin", "a_end"}));
+  auto add = [&](const char* mach, const char* skill, int64_t b, int64_t e) {
+    assign.AddRow({Value::String(mach), Value::String(skill), Value::Int(b),
+                   Value::Int(e)});
+  };
+  add("M1", "SP", 3, 12);
+  add("M2", "SP", 6, 14);
+  add("M3", "NS", 3, 16);
+  return assign;
+}
+
+inline Catalog ExampleCatalog() {
+  Catalog catalog;
+  catalog.Put("works", WorksRelation());
+  catalog.Put("assign", AssignRelation());
+  return catalog;
+}
+
+/// Snapshot schemas (without the temporal columns).
+inline Schema WorksSnapshotSchema() {
+  return Schema::FromNames({"name", "skill"});
+}
+inline Schema AssignSnapshotSchema() {
+  return Schema::FromNames({"mach", "skill"});
+}
+
+/// Q_onduty: SELECT count(*) AS cnt FROM works WHERE skill = 'SP'.
+inline PlanPtr QOnDuty() {
+  PlanPtr scan = MakeScan("works", WorksSnapshotSchema());
+  PlanPtr select = MakeSelect(scan, Eq(Col(1, "skill"), LitStr("SP")));
+  return MakeAggregate(select, {}, {},
+                       {AggExpr{AggFunc::kCountStar, nullptr, "cnt"}});
+}
+
+/// Q_skillreq: SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works.
+inline PlanPtr QSkillReq() {
+  PlanPtr a = MakeProject(MakeScan("assign", AssignSnapshotSchema()),
+                          {Col(1, "skill")}, {Column("skill")});
+  PlanPtr w = MakeProject(MakeScan("works", WorksSnapshotSchema()),
+                          {Col(1, "skill")}, {Column("skill")});
+  return MakeExceptAll(a, w);
+}
+
+/// Builds an encoded relation from (row, begin, end) triples.
+inline Relation EncodedRelation(
+    const std::vector<std::string>& names,
+    const std::vector<std::pair<Row, Interval>>& rows) {
+  std::vector<std::string> all = names;
+  all.push_back("a_begin");
+  all.push_back("a_end");
+  Relation out(Schema::FromNames(all));
+  for (const auto& [row, interval] : rows) {
+    Row r = row;
+    r.push_back(Value::Int(interval.begin));
+    r.push_back(Value::Int(interval.end));
+    out.AddRow(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace periodk
+
+#endif  // PERIODK_TESTS_RUNNING_EXAMPLE_H_

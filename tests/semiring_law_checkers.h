@@ -1,0 +1,97 @@
+// Reusable property-test law checkers for semirings and m-semirings.
+// Used both for the base semirings (B, N, Lin, Trop) and -- via the same
+// generic code -- for the period semirings K^T, which is exactly the
+// content of paper Theorems 6.2 and 7.1.
+#ifndef PERIODK_TESTS_SEMIRING_LAW_CHECKERS_H_
+#define PERIODK_TESTS_SEMIRING_LAW_CHECKERS_H_
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "semiring/semiring.h"
+
+namespace periodk {
+
+/// Checks the commutative-semiring laws on random elements drawn from
+/// s.RandomValue.
+template <Semiring S>
+void CheckSemiringLaws(const S& s, Rng& rng, int iterations) {
+  using V = typename S::Value;
+  for (int i = 0; i < iterations; ++i) {
+    V a = s.RandomValue(rng);
+    V b = s.RandomValue(rng);
+    V c = s.RandomValue(rng);
+    // Addition: commutative monoid with identity 0.
+    ASSERT_TRUE(s.Equal(s.Plus(a, b), s.Plus(b, a)))
+        << s.Name() << ": + not commutative: a=" << s.ToString(a)
+        << " b=" << s.ToString(b);
+    ASSERT_TRUE(s.Equal(s.Plus(s.Plus(a, b), c), s.Plus(a, s.Plus(b, c))))
+        << s.Name() << ": + not associative: a=" << s.ToString(a)
+        << " b=" << s.ToString(b) << " c=" << s.ToString(c);
+    ASSERT_TRUE(s.Equal(s.Plus(a, s.Zero()), a))
+        << s.Name() << ": 0 not neutral for +: a=" << s.ToString(a);
+    // Multiplication: commutative monoid with identity 1.
+    ASSERT_TRUE(s.Equal(s.Times(a, b), s.Times(b, a)))
+        << s.Name() << ": * not commutative: a=" << s.ToString(a)
+        << " b=" << s.ToString(b);
+    ASSERT_TRUE(s.Equal(s.Times(s.Times(a, b), c), s.Times(a, s.Times(b, c))))
+        << s.Name() << ": * not associative: a=" << s.ToString(a)
+        << " b=" << s.ToString(b) << " c=" << s.ToString(c);
+    ASSERT_TRUE(s.Equal(s.Times(a, s.One()), a))
+        << s.Name() << ": 1 not neutral for *: a=" << s.ToString(a);
+    // Distributivity and annihilation.
+    ASSERT_TRUE(s.Equal(s.Times(a, s.Plus(b, c)),
+                        s.Plus(s.Times(a, b), s.Times(a, c))))
+        << s.Name() << ": * does not distribute over +: a=" << s.ToString(a)
+        << " b=" << s.ToString(b) << " c=" << s.ToString(c);
+    ASSERT_TRUE(s.Equal(s.Times(a, s.Zero()), s.Zero()))
+        << s.Name() << ": 0 not annihilating: a=" << s.ToString(a);
+  }
+}
+
+/// Checks the m-semiring (monus) laws: the natural order is a partial
+/// order with minimum 0, and a monus b is the least c with a <= b + c.
+template <MSemiring S>
+void CheckMonusLaws(const S& s, Rng& rng, int iterations) {
+  using V = typename S::Value;
+  for (int i = 0; i < iterations; ++i) {
+    V a = s.RandomValue(rng);
+    V b = s.RandomValue(rng);
+    V c = s.RandomValue(rng);
+    // Natural order sanity.
+    ASSERT_TRUE(s.NaturalLeq(a, a)) << s.Name() << ": <= not reflexive";
+    ASSERT_TRUE(s.NaturalLeq(s.Zero(), a))
+        << s.Name() << ": 0 not least element: a=" << s.ToString(a);
+    if (s.NaturalLeq(a, b) && s.NaturalLeq(b, a)) {
+      ASSERT_TRUE(s.Equal(a, b))
+          << s.Name() << ": <= not antisymmetric: a=" << s.ToString(a)
+          << " b=" << s.ToString(b);
+    }
+    if (s.NaturalLeq(a, b) && s.NaturalLeq(b, c)) {
+      ASSERT_TRUE(s.NaturalLeq(a, c)) << s.Name() << ": <= not transitive";
+    }
+    ASSERT_TRUE(s.NaturalLeq(a, s.Plus(a, b)))
+        << s.Name() << ": a <= a + b violated";
+    // Monus identities.
+    ASSERT_TRUE(s.Equal(s.Monus(a, a), s.Zero()))
+        << s.Name() << ": a - a != 0: a=" << s.ToString(a);
+    ASSERT_TRUE(s.Equal(s.Monus(a, s.Zero()), a))
+        << s.Name() << ": a - 0 != a: a=" << s.ToString(a);
+    ASSERT_TRUE(s.Equal(s.Monus(s.Zero(), a), s.Zero()))
+        << s.Name() << ": 0 - a != 0: a=" << s.ToString(a);
+    // Defining property: a - b is the least c with a <= b + c.
+    V d = s.Monus(a, b);
+    ASSERT_TRUE(s.NaturalLeq(a, s.Plus(b, d)))
+        << s.Name() << ": a <= b + (a - b) violated: a=" << s.ToString(a)
+        << " b=" << s.ToString(b);
+    if (s.NaturalLeq(a, s.Plus(b, c))) {
+      ASSERT_TRUE(s.NaturalLeq(d, c))
+          << s.Name() << ": a - b not minimal: a=" << s.ToString(a)
+          << " b=" << s.ToString(b) << " c=" << s.ToString(c);
+    }
+  }
+}
+
+}  // namespace periodk
+
+#endif  // PERIODK_TESTS_SEMIRING_LAW_CHECKERS_H_

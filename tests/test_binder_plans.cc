@@ -1,0 +1,138 @@
+// Tests for binder-produced plan *shapes*: predicate pushdown placing
+// single-table filters below joins, equi-join conjuncts attached at the
+// join (so the executor can use hash joins), encoded-table reordering
+// for non-trailing period columns, and EXPLAIN-style plan printing.
+#include <gtest/gtest.h>
+
+#include "middleware/temporal_db.h"
+
+namespace periodk {
+namespace {
+
+TemporalDB Db() {
+  TemporalDB db(TimeDomain{0, 100});
+  db.CreatePeriodTable("emp", {"id", "dept", "sal", "b", "e"}, "b", "e");
+  db.CreatePeriodTable("dept", {"dno", "dname", "b", "e"}, "b", "e");
+  // Period columns in the middle: forces the reordering projection.
+  db.CreatePeriodTable("log", {"id", "b", "e", "msg"}, "b", "e");
+  return db;
+}
+
+const Plan* FindNode(const PlanPtr& plan, PlanKind kind) {
+  if (plan == nullptr) return nullptr;
+  if (plan->kind == kind) return plan.get();
+  if (const Plan* l = FindNode(plan->left, kind)) return l;
+  return FindNode(plan->right, kind);
+}
+
+TEST(BinderPlanTest, SingleTablePredicatesPushBelowJoin) {
+  TemporalDB db = Db();
+  auto plan = db.Plan(
+      "SELECT e.id FROM emp e, dept d "
+      "WHERE e.dept = d.dno AND e.sal > 100 AND d.dname = 'R'");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const Plan* join = FindNode(*plan, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  // The join predicate must contain the equi conjunct (hash-joinable)...
+  std::vector<std::pair<int, int>> keys;
+  std::vector<ExprPtr> residual;
+  ExtractEquiKeys(join->predicate, join->left->schema.size(), &keys,
+                  &residual);
+  EXPECT_EQ(keys.size(), 1u);
+  EXPECT_TRUE(residual.empty());
+  // ...and both single-table filters sit below it.
+  ASSERT_NE(FindNode(join->left, PlanKind::kSelect), nullptr);
+  ASSERT_NE(FindNode(join->right, PlanKind::kSelect), nullptr);
+}
+
+TEST(BinderPlanTest, SnapshotScanHidesPeriodColumns) {
+  TemporalDB db = Db();
+  auto plan = db.Plan("SEQ VT (SELECT * FROM emp)");
+  ASSERT_TRUE(plan.ok());
+  // Final schema: snapshot columns + a_begin/a_end.
+  ASSERT_EQ((*plan)->schema.size(), 5u);
+  EXPECT_EQ((*plan)->schema.at(0).name, "id");
+  EXPECT_EQ((*plan)->schema.at(3).name, "a_begin");
+  EXPECT_EQ((*plan)->schema.at(4).name, "a_end");
+}
+
+TEST(BinderPlanTest, NonTrailingPeriodColumnsGetReordered) {
+  TemporalDB db = Db();
+  db.Insert("log", {Value::Int(1), Value::Int(10), Value::Int(20),
+                    Value::String("boot")});
+  auto result = db.Query("SEQ VT (SELECT msg FROM log)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->rows()[0][0], Value::String("boot"));
+  EXPECT_EQ(result->rows()[0][1], Value::Int(10));
+  EXPECT_EQ(result->rows()[0][2], Value::Int(20));
+}
+
+TEST(BinderPlanTest, RewrittenAggregateUsesFusedOperatorByDefault) {
+  TemporalDB db = Db();
+  auto plan =
+      db.Plan("SEQ VT (SELECT dept, count(*) AS n FROM emp GROUP BY dept)");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(FindNode(*plan, PlanKind::kSplitAggregate), nullptr);
+  EXPECT_EQ(FindNode(*plan, PlanKind::kSplit), nullptr);
+  RewriteOptions unfused;
+  unfused.fuse_aggregation = false;
+  auto plan2 = db.Plan(
+      "SEQ VT (SELECT dept, count(*) AS n FROM emp GROUP BY dept)", unfused);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_EQ(FindNode(*plan2, PlanKind::kSplitAggregate), nullptr);
+  EXPECT_NE(FindNode(*plan2, PlanKind::kSplit), nullptr);
+  EXPECT_NE(FindNode(*plan2, PlanKind::kAggregate), nullptr);
+}
+
+TEST(BinderPlanTest, PlanToStringMentionsEveryOperator) {
+  TemporalDB db = Db();
+  auto plan = db.Plan(
+      "SEQ VT (SELECT dept, count(*) AS n FROM emp WHERE sal > 10 "
+      "GROUP BY dept) ORDER BY n DESC");
+  ASSERT_TRUE(plan.ok());
+  std::string text = (*plan)->ToString();
+  for (const char* expected :
+       {"Sort", "Coalesce", "SplitAggregate", "Select", "Scan emp"}) {
+    EXPECT_NE(text.find(expected), std::string::npos)
+        << "missing " << expected << " in:\n" << text;
+  }
+}
+
+TEST(BinderPlanTest, CrossJoinWithoutPredicates) {
+  TemporalDB db = Db();
+  db.Insert("emp", {Value::Int(1), Value::String("d1"), Value::Int(10),
+                    Value::Int(0), Value::Int(50)});
+  db.Insert("dept", {Value::String("d1"), Value::String("Dev"),
+                     Value::Int(0), Value::Int(100)});
+  auto result = db.Query("SELECT e.id, d.dname FROM emp e, dept d");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+  // Under snapshot semantics the cross join intersects validity.
+  auto snapshot = db.Query("SEQ VT (SELECT e.id, d.dname FROM emp e, dept d)");
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_EQ(snapshot->size(), 1u);
+  EXPECT_EQ(snapshot->rows()[0][2], Value::Int(0));
+  EXPECT_EQ(snapshot->rows()[0][3], Value::Int(50));
+}
+
+TEST(BinderPlanTest, OrderByOrdinalAndName) {
+  TemporalDB db = Db();
+  db.Insert("emp", {Value::Int(1), Value::String("d1"), Value::Int(10),
+                    Value::Int(0), Value::Int(50)});
+  db.Insert("emp", {Value::Int(2), Value::String("d2"), Value::Int(30),
+                    Value::Int(0), Value::Int(50)});
+  auto by_name = db.Query("SELECT id, sal FROM emp ORDER BY sal DESC");
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(by_name->rows()[0][0], Value::Int(2));
+  auto by_ordinal = db.Query("SELECT id, sal FROM emp ORDER BY 2");
+  ASSERT_TRUE(by_ordinal.ok());
+  EXPECT_EQ(by_ordinal->rows()[0][0], Value::Int(1));
+  EXPECT_EQ(db.Query("SELECT id FROM emp ORDER BY 9").status().code(),
+            StatusCode::kBindError);
+  EXPECT_EQ(db.Query("SELECT id FROM emp ORDER BY nope").status().code(),
+            StatusCode::kBindError);
+}
+
+}  // namespace
+}  // namespace periodk

@@ -1,0 +1,331 @@
+// Unit tests for the multiset engine: expressions, schemas, and every
+// physical operator.
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "engine/executor.h"
+#include "engine/expr.h"
+#include "engine/window.h"
+#include "tests/running_example.h"
+
+namespace periodk {
+namespace {
+
+Row R(std::initializer_list<int64_t> vals) {
+  Row row;
+  for (int64_t v : vals) row.push_back(Value::Int(v));
+  return row;
+}
+
+Relation IntRelation(const std::vector<std::string>& names,
+                     const std::vector<Row>& rows) {
+  Relation rel(Schema::FromNames(names));
+  for (const Row& r : rows) rel.AddRow(r);
+  return rel;
+}
+
+// --- Expressions. -----------------------------------------------------------
+
+TEST(ExprTest, ColumnAndLiteral) {
+  Row row = {Value::Int(7), Value::String("x")};
+  EXPECT_EQ(Col(0)->Eval(row), Value::Int(7));
+  EXPECT_EQ(Col(1)->Eval(row), Value::String("x"));
+  EXPECT_EQ(LitInt(3)->Eval(row), Value::Int(3));
+  EXPECT_THROW(Col(5)->Eval(row), EngineError);
+}
+
+TEST(ExprTest, ComparisonsWithNullPropagation) {
+  Row row = {Value::Int(5), Value::Null()};
+  EXPECT_EQ(Gt(Col(0), LitInt(3))->Eval(row), Value::Bool(true));
+  EXPECT_EQ(Gt(Col(1), LitInt(3))->Eval(row), Value::Null());
+  EXPECT_FALSE(Gt(Col(1), LitInt(3))->EvalBool(row));
+}
+
+TEST(ExprTest, KleeneLogic) {
+  Row row;
+  ExprPtr t = Lit(Value::Bool(true));
+  ExprPtr f = Lit(Value::Bool(false));
+  ExprPtr n = Lit(Value::Null());
+  EXPECT_EQ(And(t, n)->Eval(row), Value::Null());
+  EXPECT_EQ(And(f, n)->Eval(row), Value::Bool(false));
+  EXPECT_EQ(Or(t, n)->Eval(row), Value::Bool(true));
+  EXPECT_EQ(Or(f, n)->Eval(row), Value::Null());
+  EXPECT_EQ(Not(n)->Eval(row), Value::Null());
+  EXPECT_EQ(Not(f)->Eval(row), Value::Bool(true));
+}
+
+TEST(ExprTest, Arithmetic) {
+  Row row;
+  EXPECT_EQ(Add(LitInt(2), LitInt(3))->Eval(row), Value::Int(5));
+  EXPECT_EQ(Mul(LitInt(2), Lit(Value::Double(1.5)))->Eval(row),
+            Value::Double(3.0));
+  // Division always yields double; division by zero yields NULL.
+  EXPECT_EQ(Div(LitInt(7), LitInt(2))->Eval(row), Value::Double(3.5));
+  EXPECT_EQ(Div(LitInt(7), LitInt(0))->Eval(row), Value::Null());
+  EXPECT_EQ(Sub(LitInt(1), Lit(Value::Null()))->Eval(row), Value::Null());
+  EXPECT_EQ(Neg(LitInt(4))->Eval(row), Value::Int(-4));
+}
+
+TEST(ExprTest, ScalarFunctions) {
+  Row row;
+  EXPECT_EQ(Func(ScalarFunc::kLeast, {LitInt(3), LitInt(1)})->Eval(row),
+            Value::Int(1));
+  EXPECT_EQ(Func(ScalarFunc::kGreatest, {LitInt(3), Lit(Value::Null())})
+                ->Eval(row),
+            Value::Int(3));
+  EXPECT_EQ(Func(ScalarFunc::kAbs, {LitInt(-9)})->Eval(row), Value::Int(9));
+  // year(): synthetic 365-day calendar anchored at 1992.
+  EXPECT_EQ(Func(ScalarFunc::kYear, {LitInt(0)})->Eval(row),
+            Value::Int(1992));
+  EXPECT_EQ(Func(ScalarFunc::kYear, {LitInt(730)})->Eval(row),
+            Value::Int(1994));
+  EXPECT_EQ(
+      Func(ScalarFunc::kIfNull, {Lit(Value::Null()), LitInt(1)})->Eval(row),
+      Value::Int(1));
+}
+
+TEST(ExprTest, CaseInBetweenLike) {
+  Row row = {Value::Int(5), Value::String("promo box")};
+  ExprPtr case_expr = CaseWhen(
+      {{Gt(Col(0), LitInt(10)), LitStr("big")},
+       {Gt(Col(0), LitInt(3)), LitStr("mid")}},
+      LitStr("small"));
+  EXPECT_EQ(case_expr->Eval(row), Value::String("mid"));
+  EXPECT_EQ(InList(Col(0), {LitInt(1), LitInt(5)})->Eval(row),
+            Value::Bool(true));
+  EXPECT_EQ(InList(Col(0), {LitInt(1)}, /*negated=*/true)->Eval(row),
+            Value::Bool(true));
+  EXPECT_EQ(Between(Col(0), LitInt(1), LitInt(5))->Eval(row),
+            Value::Bool(true));
+  EXPECT_EQ(Like(Col(1), LitStr("promo%"))->Eval(row), Value::Bool(true));
+  EXPECT_EQ(Like(Col(1), LitStr("%box"))->Eval(row), Value::Bool(true));
+  EXPECT_EQ(Like(Col(1), LitStr("_romo box"))->Eval(row), Value::Bool(true));
+  EXPECT_EQ(Like(Col(1), LitStr("box%"))->Eval(row), Value::Bool(false));
+  EXPECT_EQ(IsNull(Col(0))->Eval(row), Value::Bool(false));
+  EXPECT_EQ(IsNull(Col(0), /*negated=*/true)->Eval(row), Value::Bool(true));
+}
+
+TEST(ExprTest, RemapAndCollect) {
+  ExprPtr e = And(Eq(Col(0), Col(3)), Gt(Col(1), LitInt(5)));
+  ExprPtr shifted = ShiftColumns(e, 2);
+  std::vector<int> cols;
+  CollectColumns(shifted, &cols);
+  EXPECT_EQ(cols, (std::vector<int>{2, 5, 3}));
+}
+
+TEST(ExprTest, ExtractEquiKeys) {
+  // Predicate over concat schema with left arity 2: #0 = #2 is an
+  // equi-key; #1 > 5 is residual.
+  ExprPtr pred = And(Eq(Col(0), Col(2)), Gt(Col(1), LitInt(5)));
+  std::vector<std::pair<int, int>> keys;
+  std::vector<ExprPtr> residual;
+  ExtractEquiKeys(pred, 2, &keys, &residual);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (std::pair<int, int>{0, 0}));
+  ASSERT_EQ(residual.size(), 1u);
+}
+
+// --- Schema resolution. -----------------------------------------------------
+
+TEST(SchemaTest, FindQualifiedAndAmbiguous) {
+  Schema s({Column("e", "id"), Column("d", "id"), Column("d", "name")});
+  EXPECT_EQ(s.Find("e", "id"), 0);
+  EXPECT_EQ(s.Find("d", "id"), 1);
+  EXPECT_EQ(s.Find("", "id"), -2);  // ambiguous
+  EXPECT_EQ(s.Find("", "name"), 2);
+  EXPECT_EQ(s.Find("", "salary"), -1);
+  EXPECT_EQ(s.Find("", "NAME"), 2);  // case-insensitive
+}
+
+// --- Operators. -------------------------------------------------------------
+
+TEST(ExecutorTest, SelectProject) {
+  Catalog cat;
+  cat.Put("t", IntRelation({"a", "b"}, {R({1, 10}), R({2, 20}), R({3, 30})}));
+  PlanPtr plan = MakeProject(
+      MakeSelect(MakeScan("t", Schema::FromNames({"a", "b"})),
+                 Ge(Col(1), LitInt(20))),
+      {Add(Col(0), Col(1))}, {Column("s")});
+  Relation out = Execute(plan, cat);
+  EXPECT_TRUE(out.BagEquals(IntRelation({"s"}, {R({22}), R({33})})));
+}
+
+TEST(ExecutorTest, HashJoinWithResidual) {
+  Catalog cat;
+  cat.Put("l", IntRelation({"a", "x"}, {R({1, 5}), R({2, 6}), R({2, 7})}));
+  cat.Put("r", IntRelation({"a", "y"}, {R({2, 1}), R({2, 9}), R({3, 2})}));
+  PlanPtr plan = MakeJoin(MakeScan("l", Schema::FromNames({"a", "x"})),
+                          MakeScan("r", Schema::FromNames({"a", "y"})),
+                          And(Eq(Col(0), Col(2)), Lt(Col(3), Col(1))));
+  Relation out = Execute(plan, cat);
+  // Matches: (2,6)x(2,1), (2,7)x(2,1); (2,*)x(2,9) fails residual.
+  EXPECT_TRUE(out.BagEquals(IntRelation(
+      {"a", "x", "a2", "y"}, {R({2, 6, 2, 1}), R({2, 7, 2, 1})})));
+}
+
+TEST(ExecutorTest, NestedLoopJoin) {
+  Catalog cat;
+  cat.Put("l", IntRelation({"a"}, {R({1}), R({5})}));
+  cat.Put("r", IntRelation({"b"}, {R({3}), R({4})}));
+  PlanPtr plan = MakeJoin(MakeScan("l", Schema::FromNames({"a"})),
+                          MakeScan("r", Schema::FromNames({"b"})),
+                          Lt(Col(0), Col(1)));
+  EXPECT_TRUE(Execute(plan, cat)
+                  .BagEquals(IntRelation({"a", "b"},
+                                         {R({1, 3}), R({1, 4})})));
+}
+
+TEST(ExecutorTest, JoinNullKeysNeverMatch) {
+  Catalog cat;
+  Relation l(Schema::FromNames({"a"}));
+  l.AddRow({Value::Null()});
+  l.AddRow({Value::Int(1)});
+  Relation r(Schema::FromNames({"b"}));
+  r.AddRow({Value::Null()});
+  r.AddRow({Value::Int(1)});
+  cat.Put("l", std::move(l));
+  cat.Put("r", std::move(r));
+  PlanPtr plan = MakeJoin(MakeScan("l", Schema::FromNames({"a"})),
+                          MakeScan("r", Schema::FromNames({"b"})),
+                          Eq(Col(0), Col(1)));
+  Relation out = Execute(plan, cat);
+  EXPECT_EQ(out.size(), 1u);  // only (1, 1)
+}
+
+TEST(ExecutorTest, UnionAllKeepsDuplicates) {
+  Catalog cat;
+  cat.Put("l", IntRelation({"a"}, {R({1}), R({1})}));
+  cat.Put("r", IntRelation({"a"}, {R({1}), R({2})}));
+  PlanPtr plan = MakeUnionAll(MakeScan("l", Schema::FromNames({"a"})),
+                              MakeScan("r", Schema::FromNames({"a"})));
+  EXPECT_EQ(Execute(plan, cat).size(), 4u);
+}
+
+TEST(ExecutorTest, ExceptAllBagSemantics) {
+  Catalog cat;
+  cat.Put("l", IntRelation({"a"}, {R({1}), R({1}), R({1}), R({2})}));
+  cat.Put("r", IntRelation({"a"}, {R({1}), R({3})}));
+  PlanPtr plan = MakeExceptAll(MakeScan("l", Schema::FromNames({"a"})),
+                               MakeScan("r", Schema::FromNames({"a"})));
+  // 3 - 1 = 2 copies of (1); (2) survives.
+  EXPECT_TRUE(Execute(plan, cat)
+                  .BagEquals(IntRelation({"a"}, {R({1}), R({1}), R({2})})));
+}
+
+TEST(ExecutorTest, AntiJoinExactRows) {
+  Catalog cat;
+  cat.Put("l", IntRelation({"a"}, {R({1}), R({1}), R({2})}));
+  cat.Put("r", IntRelation({"a"}, {R({1})}));
+  PlanPtr plan = MakeAntiJoin(MakeScan("l", Schema::FromNames({"a"})),
+                              MakeScan("r", Schema::FromNames({"a"})));
+  // NOT EXISTS semantics: *all* copies of (1) are removed.
+  EXPECT_TRUE(Execute(plan, cat).BagEquals(IntRelation({"a"}, {R({2})})));
+}
+
+TEST(ExecutorTest, GroupedAggregate) {
+  Catalog cat;
+  cat.Put("t", IntRelation({"g", "v"},
+                           {R({1, 10}), R({1, 20}), R({2, 5}), R({2, 5})}));
+  PlanPtr plan = MakeAggregate(
+      MakeScan("t", Schema::FromNames({"g", "v"})), {Col(0, "g")},
+      {Column("g")},
+      {AggExpr{AggFunc::kCountStar, nullptr, "c"},
+       AggExpr{AggFunc::kSum, Col(1), "s"},
+       AggExpr{AggFunc::kAvg, Col(1), "a"},
+       AggExpr{AggFunc::kMin, Col(1), "lo"},
+       AggExpr{AggFunc::kMax, Col(1), "hi"}});
+  Relation out = Execute(plan, cat);
+  Relation expected(Schema::FromNames({"g", "c", "s", "a", "lo", "hi"}));
+  expected.AddRow({Value::Int(1), Value::Int(2), Value::Int(30),
+                   Value::Double(15.0), Value::Int(10), Value::Int(20)});
+  expected.AddRow({Value::Int(2), Value::Int(2), Value::Int(10),
+                   Value::Double(5.0), Value::Int(5), Value::Int(5)});
+  EXPECT_TRUE(out.BagEquals(expected));
+}
+
+TEST(ExecutorTest, GlobalAggregateOnEmptyInputYieldsRow) {
+  Catalog cat;
+  cat.Put("t", IntRelation({"v"}, {}));
+  PlanPtr plan =
+      MakeAggregate(MakeScan("t", Schema::FromNames({"v"})), {}, {},
+                    {AggExpr{AggFunc::kCountStar, nullptr, "c"},
+                     AggExpr{AggFunc::kSum, Col(0), "s"}});
+  Relation out = Execute(plan, cat);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.rows()[0][0], Value::Int(0));
+  EXPECT_TRUE(out.rows()[0][1].is_null());
+}
+
+TEST(ExecutorTest, CountIgnoresNulls) {
+  Catalog cat;
+  Relation t(Schema::FromNames({"v"}));
+  t.AddRow({Value::Int(1)});
+  t.AddRow({Value::Null()});
+  t.AddRow({Value::Int(2)});
+  cat.Put("t", std::move(t));
+  PlanPtr plan =
+      MakeAggregate(MakeScan("t", Schema::FromNames({"v"})), {}, {},
+                    {AggExpr{AggFunc::kCount, Col(0), "c"},
+                     AggExpr{AggFunc::kCountStar, nullptr, "cs"}});
+  Relation out = Execute(plan, cat);
+  EXPECT_EQ(out.rows()[0][0], Value::Int(2));
+  EXPECT_EQ(out.rows()[0][1], Value::Int(3));
+}
+
+TEST(ExecutorTest, DistinctAndSort) {
+  Catalog cat;
+  cat.Put("t", IntRelation({"a"}, {R({2}), R({1}), R({2}), R({3})}));
+  PlanPtr distinct = MakeDistinct(MakeScan("t", Schema::FromNames({"a"})));
+  EXPECT_EQ(Execute(distinct, cat).size(), 3u);
+  PlanPtr sorted = MakeSort(MakeScan("t", Schema::FromNames({"a"})),
+                            {SortKey{0, false}});
+  Relation out = Execute(sorted, cat);
+  EXPECT_EQ(out.rows()[0][0], Value::Int(3));
+  EXPECT_EQ(out.rows()[3][0], Value::Int(1));
+}
+
+TEST(ExecutorTest, UnknownTableThrows) {
+  Catalog cat;
+  EXPECT_THROW(Execute(MakeScan("missing", Schema::FromNames({"a"})), cat),
+               EngineError);
+}
+
+// --- Window functions. ------------------------------------------------------
+
+TEST(WindowTest, RunningSumRangePeersShareFrame) {
+  Relation in = IntRelation(
+      {"g", "t", "d"},
+      {R({1, 5, 1}), R({1, 5, -1}), R({1, 3, 1}), R({1, 8, -1}),
+       R({2, 3, 1})});
+  WindowSpec spec{{0}, {{1, true}}, WindowFunc::kRunningSumRange, 2};
+  Relation out = ApplyWindow(in, spec, "s");
+  // Group 1 ordered by t: t=3 -> 1; t=5 (two peers, +1 -1) -> 1 for both;
+  // t=8 -> 0.  Group 2: t=3 -> 1.
+  auto value_at = [&](size_t i) { return out.rows()[i][3].AsInt(); };
+  EXPECT_EQ(value_at(0), 1);  // (1,5,1)
+  EXPECT_EQ(value_at(1), 1);  // (1,5,-1) peer
+  EXPECT_EQ(value_at(2), 1);  // (1,3,1)
+  EXPECT_EQ(value_at(3), 0);  // (1,8,-1)
+  EXPECT_EQ(value_at(4), 1);  // (2,3,1)
+}
+
+TEST(WindowTest, RowNumberLagLead) {
+  Relation in = IntRelation({"g", "t"},
+                            {R({1, 30}), R({1, 10}), R({1, 20}), R({2, 7})});
+  Relation rn = ApplyWindow(
+      in, WindowSpec{{0}, {{1, true}}, WindowFunc::kRowNumber, -1}, "rn");
+  EXPECT_EQ(rn.rows()[0][2].AsInt(), 3);  // t=30 is third in group 1
+  EXPECT_EQ(rn.rows()[1][2].AsInt(), 1);
+  EXPECT_EQ(rn.rows()[3][2].AsInt(), 1);
+  Relation lag = ApplyWindow(
+      in, WindowSpec{{0}, {{1, true}}, WindowFunc::kLag, 1}, "prev");
+  EXPECT_EQ(lag.rows()[0][2].AsInt(), 20);
+  EXPECT_TRUE(lag.rows()[1][2].is_null());
+  Relation lead = ApplyWindow(
+      in, WindowSpec{{0}, {{1, true}}, WindowFunc::kLead, 1}, "next");
+  EXPECT_TRUE(lead.rows()[0][2].is_null());
+  EXPECT_EQ(lead.rows()[1][2].AsInt(), 20);
+}
+
+}  // namespace
+}  // namespace periodk

@@ -1,0 +1,76 @@
+// Unit tests for intervals and time domains (paper Section 5.1).
+#include "temporal/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace periodk {
+namespace {
+
+TEST(TimeDomainTest, Basics) {
+  TimeDomain dom{0, 24};
+  EXPECT_EQ(dom.size(), 24);
+  EXPECT_TRUE(dom.Contains(0));
+  EXPECT_TRUE(dom.Contains(23));
+  EXPECT_FALSE(dom.Contains(24));
+  EXPECT_FALSE(dom.Contains(-1));
+  EXPECT_EQ(dom.ToString(), "T=[0, 24)");
+}
+
+TEST(IntervalTest, ContainsPoint) {
+  Interval i(3, 10);
+  EXPECT_TRUE(i.Contains(3));
+  EXPECT_TRUE(i.Contains(9));
+  EXPECT_FALSE(i.Contains(10));
+  EXPECT_FALSE(i.Contains(2));
+  EXPECT_EQ(i.duration(), 7);
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  Interval i(3, 10);
+  EXPECT_TRUE(i.Contains(Interval(3, 10)));
+  EXPECT_TRUE(i.Contains(Interval(4, 9)));
+  EXPECT_FALSE(i.Contains(Interval(2, 9)));
+  EXPECT_FALSE(i.Contains(Interval(4, 11)));
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE(Interval(3, 10).Overlaps(Interval(8, 16)));
+  EXPECT_TRUE(Interval(8, 16).Overlaps(Interval(3, 10)));
+  EXPECT_FALSE(Interval(3, 10).Overlaps(Interval(10, 16)));  // adjacent
+  EXPECT_FALSE(Interval(3, 10).Overlaps(Interval(11, 16)));
+  EXPECT_TRUE(Interval(3, 10).Overlaps(Interval(4, 5)));
+}
+
+TEST(IntervalTest, Adjacent) {
+  EXPECT_TRUE(Interval(3, 10).Adjacent(Interval(10, 16)));
+  EXPECT_TRUE(Interval(10, 16).Adjacent(Interval(3, 10)));
+  EXPECT_FALSE(Interval(3, 10).Adjacent(Interval(11, 16)));
+  EXPECT_FALSE(Interval(3, 10).Adjacent(Interval(9, 16)));
+}
+
+TEST(IntervalTest, Intersect) {
+  auto i = Interval::Intersect(Interval(3, 10), Interval(8, 16));
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(*i, Interval(8, 10));
+  EXPECT_FALSE(Interval::Intersect(Interval(3, 10), Interval(10, 16)));
+  EXPECT_FALSE(Interval::Intersect(Interval(3, 5), Interval(8, 16)));
+  // Intersection is symmetric.
+  EXPECT_EQ(Interval::Intersect(Interval(8, 16), Interval(3, 10)), i);
+}
+
+TEST(IntervalTest, UnionOnlyWhenOverlappingOrAdjacent) {
+  EXPECT_EQ(*Interval::Union(Interval(3, 10), Interval(8, 16)),
+            Interval(3, 16));
+  EXPECT_EQ(*Interval::Union(Interval(3, 10), Interval(10, 16)),
+            Interval(3, 16));
+  EXPECT_FALSE(Interval::Union(Interval(3, 10), Interval(12, 16)));
+}
+
+TEST(IntervalTest, OrderingAndToString) {
+  EXPECT_LT(Interval(3, 10), Interval(3, 11));
+  EXPECT_LT(Interval(3, 10), Interval(4, 5));
+  EXPECT_EQ(Interval(3, 10).ToString(), "[3, 10)");
+}
+
+}  // namespace
+}  // namespace periodk

@@ -1,0 +1,185 @@
+// Unit tests for K-relations and their algebra (paper Section 4.1),
+// including the paper's Example 4.1 verbatim and the bag aggregation /
+// distinct operations used by Def 7.1.
+#include "annotated/k_relation.h"
+
+#include <gtest/gtest.h>
+
+#include "annotated/k_relation_ops.h"
+#include "semiring/bool_semiring.h"
+#include "semiring/lineage_semiring.h"
+#include "semiring/tropical_semiring.h"
+
+namespace periodk {
+namespace {
+
+Row Strs(std::initializer_list<const char*> vals) {
+  Row row;
+  for (const char* v : vals) row.push_back(Value::String(v));
+  return row;
+}
+
+TEST(KRelationTest, ZeroAnnotatedTuplesAreAbsent) {
+  KRelation<NatSemiring> r((NatSemiring()));
+  r.Add({Value::Int(1)}, 0);
+  EXPECT_TRUE(r.empty());
+  r.Add({Value::Int(1)}, 2);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.At({Value::Int(1)}), 2);
+  EXPECT_EQ(r.At({Value::Int(9)}), 0);  // absent -> 0_K
+  r.Set({Value::Int(1)}, 0);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(KRelationTest, AddAccumulatesWithSemiringPlus) {
+  KRelation<NatSemiring> n((NatSemiring()));
+  n.Add({Value::Int(1)}, 2);
+  n.Add({Value::Int(1)}, 3);
+  EXPECT_EQ(n.At({Value::Int(1)}), 5);
+
+  KRelation<BoolSemiring> b((BoolSemiring()));
+  b.Add({Value::Int(1)}, true);
+  b.Add({Value::Int(1)}, true);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(b.At({Value::Int(1)}));
+
+  KRelation<TropicalSemiring> t((TropicalSemiring()));
+  t.Add({Value::Int(1)}, 7);
+  t.Add({Value::Int(1)}, 3);  // min
+  EXPECT_EQ(t.At({Value::Int(1)}), 3);
+}
+
+TEST(KRelationTest, PaperExample41JoinAndProjection) {
+  // works(name, skill) and assign(mach, skill) under N; the join then
+  // projection onto mach yields (M1) with annotation 1*4 + 1*4 = 8.
+  NatSemiring n;
+  KRelation<NatSemiring> works(n), assign(n);
+  works.Add(Strs({"Pete", "SP"}), 1);
+  works.Add(Strs({"Bob", "SP"}), 1);
+  works.Add(Strs({"Alice", "NS"}), 1);
+  assign.Add(Strs({"M1", "SP"}), 4);
+  assign.Add(Strs({"M2", "NS"}), 5);
+
+  auto joined = Join(works, assign,
+                     [](const Row& t) { return t[1] == t[3]; });
+  auto result = Project(joined, [](const Row& t) { return Row{t[2]}; });
+  EXPECT_EQ(result.At(Strs({"M1"})), 8);
+  EXPECT_EQ(result.At(Strs({"M2"})), 5);
+
+  // Homomorphism h: N -> B (nonzero -> true) commutes with the query
+  // (paper: h(8) = true).
+  KRelation<BoolSemiring> works_b((BoolSemiring())), assign_b((BoolSemiring()));
+  for (const auto& [t, v] : works.tuples()) works_b.Add(t, v > 0);
+  for (const auto& [t, v] : assign.tuples()) assign_b.Add(t, v > 0);
+  auto result_b = Project(
+      Join(works_b, assign_b, [](const Row& t) { return t[1] == t[3]; }),
+      [](const Row& t) { return Row{t[2]}; });
+  for (const auto& [t, v] : result.tuples()) {
+    EXPECT_EQ(result_b.At(t), v > 0) << RowToString(t);
+  }
+}
+
+TEST(KRelationTest, SelectMultipliesWithPredicate) {
+  NatSemiring n;
+  KRelation<NatSemiring> r(n);
+  r.Add({Value::Int(1)}, 3);
+  r.Add({Value::Int(2)}, 4);
+  auto filtered = Select(r, [](const Row& t) { return t[0].AsInt() > 1; });
+  EXPECT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered.At({Value::Int(2)}), 4);
+}
+
+TEST(KRelationTest, ProjectionSumsAnnotations) {
+  NatSemiring n;
+  KRelation<NatSemiring> r(n);
+  r.Add({Value::Int(1), Value::String("x")}, 2);
+  r.Add({Value::Int(1), Value::String("y")}, 3);
+  auto projected = Project(r, [](const Row& t) { return Row{t[0]}; });
+  EXPECT_EQ(projected.At({Value::Int(1)}), 5);
+}
+
+TEST(KRelationTest, UnionAddsMonusSubtracts) {
+  NatSemiring n;
+  KRelation<NatSemiring> r(n), s(n);
+  r.Add({Value::Int(1)}, 3);
+  r.Add({Value::Int(2)}, 1);
+  s.Add({Value::Int(1)}, 1);
+  s.Add({Value::Int(3)}, 7);
+  auto u = Union(r, s);
+  EXPECT_EQ(u.At({Value::Int(1)}), 4);
+  EXPECT_EQ(u.At({Value::Int(3)}), 7);
+  auto d = Monus(r, s);
+  EXPECT_EQ(d.At({Value::Int(1)}), 2);
+  EXPECT_EQ(d.At({Value::Int(2)}), 1);
+  EXPECT_EQ(d.At({Value::Int(3)}), 0);  // 0 monus 7
+}
+
+TEST(KRelationTest, LineageJoinUnionsWitnesses) {
+  LineageSemiring lin;
+  KRelation<LineageSemiring> r(lin), s(lin);
+  r.Add({Value::Int(1)}, std::set<int>{1});
+  s.Add({Value::Int(1)}, std::set<int>{2});
+  auto joined = Join(r, s, [](const Row& t) { return t[0] == t[1]; });
+  EXPECT_EQ(lin.ToString(joined.At({Value::Int(1), Value::Int(1)})),
+            "{1,2}");
+}
+
+TEST(BagAggregateTest, GroupedWithMultiplicities) {
+  NatSemiring n;
+  KRelation<NatSemiring> r(n);
+  // (g=1, v=10) x3, (g=1, v=20) x1, (g=2, v=5) x2.
+  r.Add({Value::Int(1), Value::Int(10)}, 3);
+  r.Add({Value::Int(1), Value::Int(20)}, 1);
+  r.Add({Value::Int(2), Value::Int(5)}, 2);
+  auto agg = BagAggregate(r, {0},
+                          {{AggFunc::kCountStar, -1},
+                           {AggFunc::kSum, 1},
+                           {AggFunc::kAvg, 1},
+                           {AggFunc::kMin, 1},
+                           {AggFunc::kMax, 1}});
+  // Group 1: count 4, sum 50, avg 12.5, min 10, max 20; annotated 1.
+  Row g1 = {Value::Int(1), Value::Int(4), Value::Int(50),
+            Value::Double(12.5), Value::Int(10), Value::Int(20)};
+  EXPECT_EQ(agg.At(g1), 1);
+  Row g2 = {Value::Int(2), Value::Int(2), Value::Int(10), Value::Double(5.0),
+            Value::Int(5), Value::Int(5)};
+  EXPECT_EQ(agg.At(g2), 1);
+}
+
+TEST(BagAggregateTest, GlobalOnEmptyInputReturnsNeutralRow) {
+  // The behaviour whose absence over gaps is the AG bug.
+  NatSemiring n;
+  KRelation<NatSemiring> empty(n);
+  auto agg = BagAggregate(empty, {},
+                          {{AggFunc::kCountStar, -1}, {AggFunc::kSum, 0}});
+  ASSERT_EQ(agg.size(), 1u);
+  const Row& row = agg.tuples().begin()->first;
+  EXPECT_EQ(row[0], Value::Int(0));
+  EXPECT_TRUE(row[1].is_null());
+  // Grouped aggregation over empty input stays empty.
+  auto grouped = BagAggregate(empty, {0}, {{AggFunc::kCountStar, -1}});
+  EXPECT_TRUE(grouped.empty());
+}
+
+TEST(BagDistinctTest, ClampsMultiplicities) {
+  NatSemiring n;
+  KRelation<NatSemiring> r(n);
+  r.Add({Value::Int(1)}, 5);
+  r.Add({Value::Int(2)}, 1);
+  auto d = BagDistinct(r);
+  EXPECT_EQ(d.At({Value::Int(1)}), 1);
+  EXPECT_EQ(d.At({Value::Int(2)}), 1);
+}
+
+TEST(KRelationTest, EqualComparesTuplesAndAnnotations) {
+  NatSemiring n;
+  KRelation<NatSemiring> a(n), b(n);
+  a.Add({Value::Int(1)}, 2);
+  b.Add({Value::Int(1)}, 2);
+  EXPECT_TRUE(a.Equal(b));
+  b.Add({Value::Int(1)}, 1);
+  EXPECT_FALSE(a.Equal(b));
+}
+
+}  // namespace
+}  // namespace periodk

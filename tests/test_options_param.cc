@@ -1,0 +1,98 @@
+// Value-parameterized sweep (TEST_P / INSTANTIATE_TEST_SUITE_P) over
+// the rewriter's optimization matrix: every combination of coalesce
+// hoisting x aggregation fusion x pre-aggregation x coalesce
+// implementation must produce the identical, canonical result on the
+// running example and on randomized inputs -- optimizations may only
+// change cost, never semantics.
+#include <gtest/gtest.h>
+
+#include "baseline/naive.h"
+#include "rewrite/period_enc.h"
+#include "rewrite/rewriter.h"
+#include "tests/random_query.h"
+#include "tests/running_example.h"
+
+namespace periodk {
+namespace {
+
+struct OptionCombo {
+  bool hoist;
+  bool fuse;
+  bool preagg;
+  CoalesceImpl impl;
+
+  RewriteOptions ToOptions() const {
+    RewriteOptions options;
+    options.hoist_coalesce = hoist;
+    options.fuse_aggregation = fuse;
+    options.pre_aggregate = preagg;
+    options.coalesce_impl = impl;
+    return options;
+  }
+};
+
+// Printable parameter name for ctest output.
+std::string ComboName(const ::testing::TestParamInfo<OptionCombo>& info) {
+  return std::string(info.param.hoist ? "hoist" : "nohoist") + "_" +
+         (info.param.fuse ? "fused" : "unfused") + "_" +
+         (info.param.preagg ? "preagg" : "nopreagg") + "_" +
+         (info.param.impl == CoalesceImpl::kNative ? "native" : "window");
+}
+
+std::vector<OptionCombo> AllCombos() {
+  std::vector<OptionCombo> combos;
+  for (bool hoist : {true, false}) {
+    for (bool fuse : {true, false}) {
+      for (bool preagg : {true, false}) {
+        for (CoalesceImpl impl :
+             {CoalesceImpl::kNative, CoalesceImpl::kWindow}) {
+          combos.push_back({hoist, fuse, preagg, impl});
+        }
+      }
+    }
+  }
+  return combos;
+}
+
+class RewriteOptionsSweep : public ::testing::TestWithParam<OptionCombo> {};
+
+TEST_P(RewriteOptionsSweep, RunningExampleInvariant) {
+  SnapshotRewriter rewriter(kExampleDomain, GetParam().ToOptions());
+  Catalog catalog = ExampleCatalog();
+  Relation onduty = Execute(rewriter.Rewrite(QOnDuty()), catalog);
+  EXPECT_TRUE(
+      onduty.BagEquals(NaiveSnapshotEval(QOnDuty(), catalog, kExampleDomain)));
+  Relation skillreq = Execute(rewriter.Rewrite(QSkillReq()), catalog);
+  EXPECT_TRUE(skillreq.BagEquals(
+      NaiveSnapshotEval(QSkillReq(), catalog, kExampleDomain)));
+}
+
+TEST_P(RewriteOptionsSweep, RandomizedInvariant) {
+  constexpr TimeDomain kDomain{0, 14};
+  Rng rng(0x715eed);  // fixed seed: every combo sees the same inputs
+  SnapshotRewriter rewriter(kDomain, GetParam().ToOptions());
+  for (int iter = 0; iter < 25; ++iter) {
+    Catalog catalog = RandomEncodedCatalog(&rng, kDomain);
+    RandomQueryGenerator gen(&rng);
+    PlanPtr query = gen.Generate(static_cast<int>(rng.Uniform(3)));
+    Relation ours = Execute(rewriter.Rewrite(query), catalog);
+    Relation oracle = NaiveSnapshotEval(query, catalog, kDomain);
+    ASSERT_TRUE(ours.BagEquals(oracle)) << query->ToString();
+  }
+}
+
+TEST_P(RewriteOptionsSweep, CoalesceCountMatchesHoisting) {
+  SnapshotRewriter rewriter(kExampleDomain, GetParam().ToOptions());
+  PlanPtr rewritten = rewriter.Rewrite(QOnDuty());
+  if (GetParam().hoist) {
+    EXPECT_EQ(CountKind(rewritten, PlanKind::kCoalesce), 1);
+  } else {
+    EXPECT_GE(CountKind(rewritten, PlanKind::kCoalesce), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizationCombos, RewriteOptionsSweep,
+                         ::testing::ValuesIn(AllCombos()), ComboName);
+
+}  // namespace
+}  // namespace periodk

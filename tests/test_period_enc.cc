@@ -1,0 +1,116 @@
+// Tests for PERIODENC / PERIODENC^{-1} (paper Def 8.1): the encoding of
+// N^T-relations as SQL period relations, multiplicity handling, and
+// round-trip properties connecting the logical model to the engine.
+#include "rewrite/period_enc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tests/running_example.h"
+
+namespace periodk {
+namespace {
+
+constexpr TimeDomain kDomain{0, 24};
+
+TEST(PeriodEncTest, MultiplicityBecomesDuplicateRows) {
+  NatSemiring n;
+  PeriodSemiring<NatSemiring> nt(n, kDomain);
+  PeriodKRelation<NatSemiring> r(nt);
+  TemporalElement<NatSemiring> te;
+  te.Add(Interval(3, 10), 2);
+  te.Add(Interval(12, 14), 1);
+  r.Set({Value::String("x")}, te);
+  Relation encoded = PeriodEnc(r, Schema::FromNames({"v"}));
+  // 2 duplicates of [3,10) + 1 row of [12,14).
+  EXPECT_EQ(encoded.size(), 3u);
+  Relation expected = EncodedRelation(
+      {"v"}, {{{Value::String("x")}, Interval(3, 10)},
+              {{Value::String("x")}, Interval(3, 10)},
+              {{Value::String("x")}, Interval(12, 14)}});
+  EXPECT_TRUE(encoded.BagEquals(expected));
+}
+
+TEST(PeriodEncTest, DecodeCoalescesToTheCanonicalForm) {
+  // Two rows [3,10) and [3,13) decode to {[3,10)->2, [10,13)->1}.
+  Relation encoded = EncodedRelation(
+      {"v"}, {{{Value::Int(30)}, Interval(3, 10)},
+              {{Value::Int(30)}, Interval(3, 13)}});
+  PeriodKRelation<NatSemiring> decoded = PeriodDec(encoded, kDomain);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded.semiring().ToString(decoded.At({Value::Int(30)})),
+            "{[3, 10) -> 2, [10, 13) -> 1}");
+}
+
+TEST(PeriodEncTest, RoundTripFromLogicalModel) {
+  Rng rng(0x0e2c0de);
+  NatSemiring n;
+  PeriodSemiring<NatSemiring> nt(n, kDomain);
+  for (int iter = 0; iter < 50; ++iter) {
+    PeriodKRelation<NatSemiring> r(nt);
+    int tuples = static_cast<int>(rng.Uniform(5));
+    for (int t = 0; t < tuples; ++t) {
+      r.Set({Value::Int(rng.Range(0, 3)), Value::Int(rng.Range(0, 3))},
+            nt.RandomValue(rng));
+    }
+    Schema schema = Schema::FromNames({"a", "b"});
+    // PERIODENC^{-1}(PERIODENC(R)) == R (Def 8.1: the mappings are
+    // mutually inverse on coalesced relations).
+    PeriodKRelation<NatSemiring> back =
+        PeriodDec(PeriodEnc(r, schema), kDomain);
+    ASSERT_TRUE(back.Equal(r));
+  }
+}
+
+TEST(PeriodEncTest, RoundTripFromEncoding) {
+  // For an arbitrary engine encoding, Enc(Dec(.)) yields the canonical
+  // snapshot-equivalent encoding.
+  Rng rng(0x0e2c0df);
+  for (int iter = 0; iter < 50; ++iter) {
+    Relation raw(Schema::FromNames({"a", "a_begin", "a_end"}));
+    int n = static_cast<int>(rng.Uniform(15));
+    for (int i = 0; i < n; ++i) {
+      TimePoint b = rng.Range(0, 22);
+      TimePoint e = rng.Range(b + 1, 23);
+      raw.AddRow({Value::Int(rng.Range(0, 2)), Value::Int(b), Value::Int(e)});
+    }
+    Relation canonical =
+        PeriodEnc(PeriodDec(raw, kDomain), raw.schema().Prefix(1));
+    ASSERT_TRUE(SnapshotEquivalentEncodings(raw, canonical, kDomain));
+    // Canonical form is a fixpoint.
+    Relation twice =
+        PeriodEnc(PeriodDec(canonical, kDomain), raw.schema().Prefix(1));
+    ASSERT_TRUE(canonical.BagEquals(twice));
+  }
+}
+
+TEST(PeriodEncTest, DegenerateIntervalsAreDropped) {
+  Relation raw(Schema::FromNames({"a", "a_begin", "a_end"}));
+  raw.AddRow({Value::Int(1), Value::Int(5), Value::Int(5)});
+  raw.AddRow({Value::Int(1), Value::Int(7), Value::Int(6)});
+  EXPECT_TRUE(PeriodDec(raw, kDomain).empty());
+}
+
+TEST(PeriodEncTest, ArityMismatchThrows) {
+  NatSemiring n;
+  PeriodSemiring<NatSemiring> nt(n, kDomain);
+  PeriodKRelation<NatSemiring> r(nt);
+  r.Set({Value::Int(1), Value::Int(2)},
+        TemporalElement<NatSemiring>(Interval(0, 5), 1));
+  EXPECT_THROW(PeriodEnc(r, Schema::FromNames({"only_one"})), EngineError);
+  Relation not_encoded(Schema::FromNames({"x"}));
+  EXPECT_THROW(PeriodDec(not_encoded, kDomain), EngineError);
+}
+
+TEST(PeriodEncTest, SnapshotEquivalenceDetectsDifferences) {
+  Relation a = EncodedRelation({"v"}, {{{Value::Int(1)}, Interval(0, 10)}});
+  Relation b = EncodedRelation({"v"}, {{{Value::Int(1)}, Interval(0, 5)},
+                                       {{Value::Int(1)}, Interval(5, 10)}});
+  Relation c = EncodedRelation({"v"}, {{{Value::Int(1)}, Interval(0, 9)}});
+  EXPECT_TRUE(SnapshotEquivalentEncodings(a, b, kDomain));
+  EXPECT_FALSE(SnapshotEquivalentEncodings(a, c, kDomain));
+}
+
+}  // namespace
+}  // namespace periodk

@@ -1,0 +1,206 @@
+// Tests for the period semiring K^T: Theorem 6.2 (K^T is a semiring),
+// Theorem 7.1 (K^T inherits the monus), Lemma 6.1 (coalesce pushes into
+// the pointwise operations), Theorems 6.3/7.2 (timeslice is an
+// (m-)semiring homomorphism), and the paper's worked examples 6.1 and
+// the Section 7.1 bag-difference computation.
+#include "temporal/period_semiring.h"
+
+#include <gtest/gtest.h>
+
+#include "semiring/bool_semiring.h"
+#include "semiring/lineage_semiring.h"
+#include "semiring/nat_semiring.h"
+#include "semiring/tropical_semiring.h"
+#include "tests/semiring_law_checkers.h"
+
+namespace periodk {
+namespace {
+
+constexpr TimeDomain kDay{0, 24};
+
+using NT = PeriodSemiring<NatSemiring>;
+using BT = PeriodSemiring<BoolSemiring>;
+
+TEST(PeriodSemiringTest, ZeroAndOne) {
+  NT nt(NatSemiring(), kDay);
+  EXPECT_TRUE(nt.Zero().empty());
+  EXPECT_EQ(nt.ToString(nt.One()), "{[0, 24) -> 1}");
+  // 1 is already coalesced, and 0 * x = 0.
+  auto x = NT::Value(Interval(3, 10), 2);
+  EXPECT_TRUE(nt.Equal(nt.Times(nt.Zero(), x), nt.Zero()));
+  EXPECT_TRUE(nt.Equal(nt.Times(nt.One(), x), x));
+}
+
+TEST(PeriodSemiringTest, PaperExample61Addition) {
+  // Example 6.1: T1 + T2 for (Ann,SP) and (Sam,SP) annotations.
+  NT nt(NatSemiring(), kDay);
+  NT::Value t1;
+  t1.Add(Interval(3, 10), 1);
+  t1.Add(Interval(18, 20), 1);
+  NT::Value t2(Interval(8, 16), 1);
+  NT::Value sum = nt.Plus(t1, t2);
+  EXPECT_EQ(nt.ToString(sum),
+            "{[3, 8) -> 1, [8, 10) -> 2, [10, 16) -> 1, [18, 20) -> 1}");
+}
+
+TEST(PeriodSemiringTest, MultiplicationIntersectsIntervals) {
+  NT nt(NatSemiring(), kDay);
+  NT::Value a(Interval(3, 12), 2);
+  NT::Value b(Interval(6, 14), 3);
+  EXPECT_EQ(nt.ToString(nt.Times(a, b)), "{[6, 12) -> 6}");
+  // Disjoint intervals multiply to zero.
+  NT::Value c(Interval(20, 22), 5);
+  EXPECT_TRUE(nt.Equal(nt.Times(a, c), nt.Zero()));
+}
+
+TEST(PeriodSemiringTest, PaperSection71BagDifference) {
+  // The worked monus computation from Section 7.1 (query Q_skillreq):
+  //   ({[03,12)->1} + {[06,14)->1}) - ({[03,10)->1} + {[08,16)->1}
+  //                                    + {[18,20)->1})
+  // = {[06,08)->1, [10,12)->1}.
+  NT nt(NatSemiring(), kDay);
+  NT::Value assign_sp =
+      nt.Plus(NT::Value(Interval(3, 12), 1), NT::Value(Interval(6, 14), 1));
+  EXPECT_EQ(nt.ToString(assign_sp),
+            "{[3, 6) -> 1, [6, 12) -> 2, [12, 14) -> 1}");
+  NT::Value works_sp = nt.Plus(
+      nt.Plus(NT::Value(Interval(3, 10), 1), NT::Value(Interval(8, 16), 1)),
+      NT::Value(Interval(18, 20), 1));
+  EXPECT_EQ(nt.ToString(works_sp),
+            "{[3, 8) -> 1, [8, 10) -> 2, [10, 16) -> 1, [18, 20) -> 1}");
+  NT::Value diff = nt.Monus(assign_sp, works_sp);
+  EXPECT_EQ(nt.ToString(diff), "{[6, 8) -> 1, [10, 12) -> 1}");
+}
+
+TEST(PeriodSemiringTest, BoolMonusIsTemporalSetDifference) {
+  BT bt(BoolSemiring(), kDay);
+  BT::Value a(Interval(3, 12), true);
+  BT::Value b(Interval(6, 8), true);
+  EXPECT_EQ(bt.ToString(bt.Monus(a, b)),
+            "{[3, 6) -> true, [8, 12) -> true}");
+}
+
+// --- Theorem 6.2 / 7.1: K^T is an (m-)semiring, via the generic law
+// checkers over random coalesced elements. -------------------------------
+
+template <typename S>
+class PeriodSemiringLawsTest : public ::testing::Test {};
+
+using AllBase = ::testing::Types<BoolSemiring, NatSemiring, LineageSemiring,
+                                 TropicalSemiring>;
+TYPED_TEST_SUITE(PeriodSemiringLawsTest, AllBase);
+
+TYPED_TEST(PeriodSemiringLawsTest, Theorem62SemiringLaws) {
+  PeriodSemiring<TypeParam> kt(TypeParam(), TimeDomain{0, 16});
+  Rng rng(0x7e570001);
+  CheckSemiringLaws(kt, rng, /*iterations=*/120);
+}
+
+template <typename S>
+class PeriodMonusLawsTest : public ::testing::Test {};
+
+using MonusBase = ::testing::Types<BoolSemiring, NatSemiring,
+                                   TropicalSemiring>;
+TYPED_TEST_SUITE(PeriodMonusLawsTest, MonusBase);
+
+TYPED_TEST(PeriodMonusLawsTest, Theorem71MonusLaws) {
+  PeriodSemiring<TypeParam> kt(TypeParam(), TimeDomain{0, 16});
+  Rng rng(0x7e570002);
+  CheckMonusLaws(kt, rng, /*iterations=*/120);
+}
+
+// --- Lemma 6.1: coalescing can be pushed into the pointwise ops. ----------
+
+template <typename S>
+class CoalescePushTest : public ::testing::Test {};
+TYPED_TEST_SUITE(CoalescePushTest, AllBase);
+
+TYPED_TEST(CoalescePushTest, Lemma61PlusAndTimes) {
+  TypeParam k;
+  TimeDomain dom{0, 16};
+  Rng rng(0x7e570003);
+  for (int i = 0; i < 200; ++i) {
+    auto a = RandomTemporalElement(k, dom, rng, 4);
+    auto b = RandomTemporalElement(k, dom, rng, 4);
+    ASSERT_TRUE(StructurallyEqual(
+        k, Coalesce(k, PointwisePlus(k, a, b)),
+        Coalesce(k, PointwisePlus(k, Coalesce(k, a), b))));
+    ASSERT_TRUE(StructurallyEqual(
+        k, Coalesce(k, PointwiseTimes(k, a, b)),
+        Coalesce(k, PointwiseTimes(k, Coalesce(k, a), b))));
+  }
+}
+
+TEST(CoalescePushTest, Lemma61Monus) {
+  // The extended version proves the monus variant; checked here for N.
+  NatSemiring k;
+  TimeDomain dom{0, 16};
+  Rng rng(0x7e570004);
+  for (int i = 0; i < 200; ++i) {
+    auto a = RandomTemporalElement(k, dom, rng, 4);
+    auto b = RandomTemporalElement(k, dom, rng, 4);
+    ASSERT_TRUE(StructurallyEqual(
+        k, Coalesce(k, PointwiseMonus(k, a, b)),
+        Coalesce(k, PointwiseMonus(k, Coalesce(k, a), b))));
+    ASSERT_TRUE(StructurallyEqual(
+        k, Coalesce(k, PointwiseMonus(k, a, b)),
+        Coalesce(k, PointwiseMonus(k, a, Coalesce(k, b)))));
+  }
+}
+
+// --- Theorems 6.3 and 7.2: tau_T is an (m-)semiring homomorphism. ---------
+
+template <typename S>
+class TimesliceHomomorphismTest : public ::testing::Test {};
+TYPED_TEST_SUITE(TimesliceHomomorphismTest, AllBase);
+
+TYPED_TEST(TimesliceHomomorphismTest, Theorem63Homomorphism) {
+  TypeParam k;
+  TimeDomain dom{0, 12};
+  PeriodSemiring<TypeParam> kt(k, dom);
+  Rng rng(0x7e570005);
+  for (int i = 0; i < 150; ++i) {
+    auto a = kt.RandomValue(rng);
+    auto b = kt.RandomValue(rng);
+    for (TimePoint t = dom.tmin; t < dom.tmax; ++t) {
+      ASSERT_TRUE(k.Equal(kt.TimesliceAt(kt.Zero(), t), k.Zero()));
+      ASSERT_TRUE(k.Equal(kt.TimesliceAt(kt.One(), t), k.One()));
+      ASSERT_TRUE(k.Equal(kt.TimesliceAt(kt.Plus(a, b), t),
+                          k.Plus(kt.TimesliceAt(a, t), kt.TimesliceAt(b, t))))
+          << "tau does not commute with + at t=" << t;
+      ASSERT_TRUE(
+          k.Equal(kt.TimesliceAt(kt.Times(a, b), t),
+                  k.Times(kt.TimesliceAt(a, t), kt.TimesliceAt(b, t))))
+          << "tau does not commute with * at t=" << t;
+    }
+  }
+}
+
+TEST(TimesliceHomomorphismTest, Theorem72MonusHomomorphism) {
+  NatSemiring k;
+  TimeDomain dom{0, 12};
+  PeriodSemiring<NatSemiring> nt(k, dom);
+  Rng rng(0x7e570006);
+  for (int i = 0; i < 200; ++i) {
+    auto a = nt.RandomValue(rng);
+    auto b = nt.RandomValue(rng);
+    auto d = nt.Monus(a, b);
+    for (TimePoint t = dom.tmin; t < dom.tmax; ++t) {
+      ASSERT_EQ(nt.TimesliceAt(d, t),
+                k.Monus(nt.TimesliceAt(a, t), nt.TimesliceAt(b, t)));
+    }
+  }
+}
+
+// --- Composability: the construction can be iterated ((K^T)^T). -----------
+
+TEST(PeriodSemiringTest, ConstructionComposes) {
+  PeriodSemiring<NatSemiring> nt(NatSemiring(), TimeDomain{0, 8});
+  PeriodSemiring<PeriodSemiring<NatSemiring>> ntt(nt, TimeDomain{0, 8});
+  Rng rng(0x7e570007);
+  CheckSemiringLaws(ntt, rng, /*iterations=*/25);
+  EXPECT_EQ(ntt.Name(), "N^T^T");
+}
+
+}  // namespace
+}  // namespace periodk

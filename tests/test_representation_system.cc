@@ -1,0 +1,212 @@
+// Tests for the paper's central formal results about the three-level
+// framework:
+//   Lemma 6.4  -- ENC_K is bijective,
+//   Lemma 6.5  -- ENC_K preserves snapshots,
+//   Thm 6.6    -- K^T-relations are a representation system for RA+,
+//   Thm 7.1/7.2 -- ... and for difference over m-semirings,
+//   Thm 7.3    -- ... and for aggregation over N (Def 7.1),
+// plus the full Figure 2 commutative diagram connecting the abstract
+// model, the logical model and the engine implementation on both the
+// running example and random databases/queries.
+#include <gtest/gtest.h>
+
+#include "annotated/evaluate.h"
+#include "rewrite/period_enc.h"
+#include "rewrite/rewriter.h"
+#include "semiring/bool_semiring.h"
+#include "semiring/lineage_semiring.h"
+#include "semiring/tropical_semiring.h"
+#include "tests/random_query.h"
+#include "tests/running_example.h"
+
+namespace periodk {
+namespace {
+
+constexpr TimeDomain kDomain{0, 12};
+
+// --- Lemmas 6.4 / 6.5 over every semiring. ---------------------------------
+
+template <typename S>
+class EncodingTest : public ::testing::Test {};
+
+using AllSemirings = ::testing::Types<BoolSemiring, NatSemiring,
+                                      LineageSemiring, TropicalSemiring>;
+TYPED_TEST_SUITE(EncodingTest, AllSemirings);
+
+TYPED_TEST(EncodingTest, Lemma64EncIsInvertible) {
+  TypeParam k;
+  Rng rng(0x6406406);
+  for (int iter = 0; iter < 60; ++iter) {
+    SnapshotKRelation<TypeParam> r =
+        RandomSnapshotKRelation(k, kDomain, &rng);
+    PeriodKRelation<TypeParam> encoded = EncodeSnapshots(r);
+    SnapshotKRelation<TypeParam> decoded = DecodeSnapshots(encoded);
+    ASSERT_TRUE(r.Equal(decoded)) << "ENC not invertible";
+    // Injectivity on re-encoding: the normal form is reproduced exactly.
+    PeriodKRelation<TypeParam> reencoded = EncodeSnapshots(decoded);
+    ASSERT_TRUE(encoded.Equal(reencoded));
+  }
+}
+
+TYPED_TEST(EncodingTest, Lemma65EncPreservesSnapshots) {
+  TypeParam k;
+  Rng rng(0x6506506);
+  for (int iter = 0; iter < 40; ++iter) {
+    SnapshotKRelation<TypeParam> r =
+        RandomSnapshotKRelation(k, kDomain, &rng);
+    PeriodKRelation<TypeParam> encoded = EncodeSnapshots(r);
+    for (TimePoint t = kDomain.tmin; t < kDomain.tmax; ++t) {
+      ASSERT_TRUE(TimesliceRelation(encoded, t).Equal(r.At(t)))
+          << "tau_" << t << "(ENC(R)) != tau_" << t << "(R)";
+    }
+  }
+}
+
+TYPED_TEST(EncodingTest, EncodedAnnotationsAreCoalesced) {
+  TypeParam k;
+  Rng rng(0x6556565);
+  for (int iter = 0; iter < 40; ++iter) {
+    PeriodKRelation<TypeParam> encoded =
+        EncodeSnapshots(RandomSnapshotKRelation(k, kDomain, &rng));
+    for (const auto& [tuple, te] : encoded.tuples()) {
+      ASSERT_TRUE(StructurallyEqual(k, te, Coalesce(k, te)));
+    }
+  }
+}
+
+// --- Theorem 6.6 / 7.x: queries commute with the encoding. -----------------
+
+template <Semiring K>
+void CheckRepresentationSystem(const K& k, RandomQueryConfig config,
+                               uint64_t seed, int iterations) {
+  Rng rng(seed);
+  PeriodSemiring<K> kt(k, kDomain);
+  for (int iter = 0; iter < iterations; ++iter) {
+    SnapshotCatalog<K> abstract;
+    KCatalog<PeriodSemiring<K>> logical;
+    for (const char* name : {"r", "s"}) {
+      SnapshotKRelation<K> r = RandomSnapshotKRelation(k, kDomain, &rng);
+      logical.emplace(name, EncodeSnapshots(r));
+      abstract.emplace(name, std::move(r));
+    }
+    RandomQueryGenerator gen(&rng, config);
+    PlanPtr query = gen.Generate(static_cast<int>(rng.Uniform(4)));
+
+    // Abstract model: evaluate per snapshot (Def 4.4).
+    SnapshotKRelation<K> expected =
+        EvaluateSnapshots(query, k, abstract, kDomain);
+    // Logical model: evaluate once over K^T annotations.
+    PeriodKRelation<K> actual = Evaluate(query, kt, logical);
+    // Snapshot-reducibility: tau_T commutes with the query.
+    ASSERT_TRUE(DecodeSnapshots(actual).Equal(expected))
+        << k.Name() << " query:\n" << query->ToString();
+    // Uniqueness: the K^T result is exactly the canonical encoding.
+    ASSERT_TRUE(actual.Equal(EncodeSnapshots(expected)))
+        << k.Name() << " (non-canonical encoding) query:\n"
+        << query->ToString();
+  }
+}
+
+TEST(RepresentationSystemTest, Theorem66PositiveAlgebraBool) {
+  CheckRepresentationSystem(BoolSemiring(), {false, false, false},
+                            0x66000001, 60);
+}
+
+TEST(RepresentationSystemTest, Theorem66PositiveAlgebraLineage) {
+  CheckRepresentationSystem(LineageSemiring(), {false, false, false},
+                            0x66000002, 40);
+}
+
+TEST(RepresentationSystemTest, Theorem66PositiveAlgebraTropical) {
+  CheckRepresentationSystem(TropicalSemiring(), {false, false, false},
+                            0x66000003, 40);
+}
+
+TEST(RepresentationSystemTest, Theorem71DifferenceBool) {
+  CheckRepresentationSystem(BoolSemiring(), {false, true, false},
+                            0x71000001, 60);
+}
+
+TEST(RepresentationSystemTest, Theorem71DifferenceTropical) {
+  CheckRepresentationSystem(TropicalSemiring(), {false, true, false},
+                            0x71000002, 40);
+}
+
+TEST(RepresentationSystemTest, Theorem73FullBagAlgebra) {
+  CheckRepresentationSystem(NatSemiring(), {true, true, true}, 0x73000001,
+                            80);
+}
+
+// --- The full Figure 2 commutative diagram on the running example. ---------
+
+TEST(Figure2Test, AllThreeLevelsAgreeOnQOnDuty) {
+  NatSemiring n;
+  PeriodSemiring<NatSemiring> nt(n, kExampleDomain);
+
+  // Abstract model: load `works` as a snapshot N-database.
+  SnapshotKRelation<NatSemiring> works_abs(n, kExampleDomain);
+  works_abs.AddDuring({Value::String("Ann"), Value::String("SP")},
+                      Interval(3, 10), 1);
+  works_abs.AddDuring({Value::String("Joe"), Value::String("NS")},
+                      Interval(8, 16), 1);
+  works_abs.AddDuring({Value::String("Sam"), Value::String("SP")},
+                      Interval(8, 16), 1);
+  works_abs.AddDuring({Value::String("Ann"), Value::String("SP")},
+                      Interval(18, 20), 1);
+  SnapshotCatalog<NatSemiring> abstract;
+  abstract.emplace("works", works_abs);
+
+  PlanPtr q = QOnDuty();
+  SnapshotKRelation<NatSemiring> abstract_result =
+      EvaluateSnapshots(q, n, abstract, kExampleDomain);
+  // Spot-check the abstract result: cnt=2 at 08:00, cnt=0 at 00:00.
+  EXPECT_EQ(abstract_result.At(8).At({Value::Int(2)}), 1);
+  EXPECT_EQ(abstract_result.At(0).At({Value::Int(0)}), 1);
+  EXPECT_EQ(abstract_result.At(8).At({Value::Int(0)}), 0);
+
+  // Logical model: ENC then evaluate over N^T.
+  KCatalog<PeriodSemiring<NatSemiring>> logical;
+  logical.emplace("works", EncodeSnapshots(works_abs));
+  PeriodKRelation<NatSemiring> logical_result = Evaluate(q, nt, logical);
+  EXPECT_TRUE(logical_result.Equal(EncodeSnapshots(abstract_result)));
+  // The annotation of (cnt=1) is the paper's example element.
+  EXPECT_EQ(nt.ToString(logical_result.At({Value::Int(1)})),
+            "{[3, 8) -> 1, [10, 16) -> 1, [18, 20) -> 1}");
+
+  // Implementation: PERIODENC + REWR over the engine.
+  Catalog engine_catalog = ExampleCatalog();
+  SnapshotRewriter rewriter(kExampleDomain, RewriteOptions{});
+  Relation engine_result = Execute(rewriter.Rewrite(q), engine_catalog);
+  Relation from_logical =
+      PeriodEnc(logical_result, Schema::FromNames({"cnt"}));
+  EXPECT_TRUE(engine_result.BagEquals(from_logical));
+}
+
+TEST(Figure2Test, RandomizedLogicalVersusImplementation) {
+  // PERIODENC(Evaluate_{N^T}(Q)) == Execute(REWR(Q)) over random inputs:
+  // the right square of the paper's Figure 2 diagram.
+  NatSemiring n;
+  PeriodSemiring<NatSemiring> nt(n, kDomain);
+  Rng rng(0xf260f260);
+  for (int iter = 0; iter < 60; ++iter) {
+    Catalog engine_catalog = RandomEncodedCatalog(&rng, kDomain);
+    KCatalog<PeriodSemiring<NatSemiring>> logical;
+    for (const char* name : {"r", "s"}) {
+      logical.emplace(name,
+                      PeriodDec(engine_catalog.Get(name), kDomain));
+    }
+    RandomQueryGenerator gen(&rng);
+    PlanPtr query = gen.Generate(static_cast<int>(rng.Uniform(3)));
+    PeriodKRelation<NatSemiring> logical_result =
+        Evaluate(query, nt, logical);
+    SnapshotRewriter rewriter(kDomain, RewriteOptions{});
+    Relation engine_result = Execute(rewriter.Rewrite(query), engine_catalog);
+    Relation expected = PeriodEnc(logical_result, query->schema);
+    ASSERT_TRUE(engine_result.BagEquals(expected))
+        << "query:\n" << query->ToString() << "engine:\n"
+        << engine_result.ToString() << "logical:\n" << expected.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace periodk

@@ -1,0 +1,89 @@
+// Property tests: every semiring in the library satisfies the
+// commutative-semiring laws, and every m-semiring satisfies the monus
+// laws.  The same law-checkers are reused by test_period_semiring.cc for
+// K^T (paper Thm 6.2 / 7.1); here they validate the base semirings.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "semiring/bool_semiring.h"
+#include "semiring/lineage_semiring.h"
+#include "semiring/nat_semiring.h"
+#include "semiring/tropical_semiring.h"
+#include "tests/semiring_law_checkers.h"
+
+namespace periodk {
+namespace {
+
+template <typename S>
+class SemiringLawsTest : public ::testing::Test {
+ public:
+  S MakeSemiring() { return S(); }
+};
+
+using AllSemirings = ::testing::Types<BoolSemiring, NatSemiring,
+                                      LineageSemiring, TropicalSemiring>;
+TYPED_TEST_SUITE(SemiringLawsTest, AllSemirings);
+
+TYPED_TEST(SemiringLawsTest, SatisfiesSemiringLaws) {
+  TypeParam s = this->MakeSemiring();
+  Rng rng(0xabcdef12);
+  CheckSemiringLaws(s, rng, /*iterations=*/500);
+}
+
+template <typename S>
+class MonusLawsTest : public ::testing::Test {
+ public:
+  S MakeSemiring() { return S(); }
+};
+
+using MonusSemirings =
+    ::testing::Types<BoolSemiring, NatSemiring, TropicalSemiring>;
+TYPED_TEST_SUITE(MonusLawsTest, MonusSemirings);
+
+TYPED_TEST(MonusLawsTest, SatisfiesMonusLaws) {
+  TypeParam s = this->MakeSemiring();
+  Rng rng(0x12345678);
+  CheckMonusLaws(s, rng, /*iterations=*/500);
+}
+
+TEST(SemiringExamplesTest, NatMatchesPaperExample41) {
+  // Example 4.1: (M1) has annotation 1*4 + 1*4 = 8 under N.
+  NatSemiring n;
+  EXPECT_EQ(n.Plus(n.Times(1, 4), n.Times(1, 4)), 8);
+  // Under B (via homomorphism h: nonzero -> true) the tuple is present.
+  BoolSemiring b;
+  EXPECT_TRUE(b.Plus(b.Times(true, true), b.Times(true, true)));
+}
+
+TEST(SemiringExamplesTest, NatMonusIsTruncatingMinus) {
+  NatSemiring n;
+  EXPECT_EQ(n.Monus(5, 3), 2);
+  EXPECT_EQ(n.Monus(3, 5), 0);
+  EXPECT_EQ(n.Monus(3, 3), 0);
+}
+
+TEST(SemiringExamplesTest, BoolMonusIsSetDifference) {
+  BoolSemiring b;
+  EXPECT_TRUE(b.Monus(true, false));
+  EXPECT_FALSE(b.Monus(true, true));
+  EXPECT_FALSE(b.Monus(false, true));
+}
+
+TEST(SemiringExamplesTest, LineageCombinesContributingTuples) {
+  LineageSemiring lin;
+  auto a = LineageSemiring::Value(std::set<int>{1});
+  auto b = LineageSemiring::Value(std::set<int>{2, 3});
+  EXPECT_EQ(lin.ToString(lin.Times(a, b)), "{1,2,3}");
+  EXPECT_EQ(lin.ToString(lin.Plus(lin.Zero(), a)), "{1}");
+  EXPECT_EQ(lin.ToString(lin.Times(lin.Zero(), a)), "_|_");
+}
+
+TEST(SemiringExamplesTest, TropicalTracksMinimumCost) {
+  TropicalSemiring t;
+  EXPECT_EQ(t.Plus(3, 7), 3);
+  EXPECT_EQ(t.Times(3, 7), 10);
+  EXPECT_EQ(t.Times(t.Zero(), 7), t.Zero());
+}
+
+}  // namespace
+}  // namespace periodk

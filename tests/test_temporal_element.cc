@@ -1,0 +1,186 @@
+// Tests for temporal K-elements and K-coalescing, covering the paper's
+// Examples 5.1-5.3 and Lemma 5.1 (idempotence, uniqueness, equivalence
+// preservation) as property tests over every semiring in the library.
+#include "temporal/temporal_element.h"
+
+#include <gtest/gtest.h>
+
+#include "semiring/bool_semiring.h"
+#include "semiring/lineage_semiring.h"
+#include "semiring/nat_semiring.h"
+#include "semiring/tropical_semiring.h"
+
+namespace periodk {
+namespace {
+
+TEST(TemporalElementTest, TimesliceSumsOverlappingIntervals) {
+  // Paper Section 5.1: T = {[00,05) -> 2, [04,05) -> 1} has annotation
+  // 2 + 1 = 3 at time 04.
+  NatSemiring n;
+  TemporalElement<NatSemiring> te;
+  te.Add(Interval(0, 5), 2);
+  te.Add(Interval(4, 5), 1);
+  EXPECT_EQ(Timeslice(n, te, 4), 3);
+  EXPECT_EQ(Timeslice(n, te, 3), 2);
+  EXPECT_EQ(Timeslice(n, te, 5), 0);
+  EXPECT_EQ(Timeslice(n, te, 7), 0);
+}
+
+TEST(TemporalElementTest, CoalesceExample53Multiset) {
+  // Paper Example 5.3: T_30k = {[3,10) -> 1, [3,13) -> 1} coalesces to
+  // {[3,10) -> 2, [10,13) -> 1} under N.
+  NatSemiring n;
+  TemporalElement<NatSemiring> t30k;
+  t30k.Add(Interval(3, 10), 1);
+  t30k.Add(Interval(3, 13), 1);
+  TemporalElement<NatSemiring> c = Coalesce(n, t30k);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(ToString(n, c), "{[3, 10) -> 2, [10, 13) -> 1}");
+}
+
+TEST(TemporalElementTest, CoalesceExample53Set) {
+  // Same relation under B coalesces to {[3,13) -> true}.
+  BoolSemiring b;
+  TemporalElement<BoolSemiring> t30k;
+  t30k.Add(Interval(3, 10), true);
+  t30k.Add(Interval(3, 13), true);
+  TemporalElement<BoolSemiring> c = Coalesce(b, t30k);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.entries()[0].first, Interval(3, 13));
+  EXPECT_TRUE(c.entries()[0].second);
+}
+
+TEST(TemporalElementTest, CoalesceDropsZeroAnnotations) {
+  NatSemiring n;
+  TemporalElement<NatSemiring> te;
+  te.Add(Interval(3, 10), 0);
+  te.Add(Interval(12, 14), 2);
+  TemporalElement<NatSemiring> c = Coalesce(n, te);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.entries()[0].first, Interval(12, 14));
+}
+
+TEST(TemporalElementTest, CoalesceKeepsGapsSeparate) {
+  NatSemiring n;
+  TemporalElement<NatSemiring> te;
+  te.Add(Interval(3, 10), 1);
+  te.Add(Interval(18, 20), 1);
+  TemporalElement<NatSemiring> c = Coalesce(n, te);
+  EXPECT_EQ(ToString(n, c), "{[3, 10) -> 1, [18, 20) -> 1}");
+}
+
+TEST(TemporalElementTest, CoalesceMergesAdjacentEqual) {
+  NatSemiring n;
+  TemporalElement<NatSemiring> te;
+  te.Add(Interval(3, 5), 3);
+  te.Add(Interval(5, 9), 3);
+  EXPECT_EQ(ToString(n, Coalesce(n, te)), "{[3, 9) -> 3}");
+}
+
+TEST(TemporalElementTest, SnapshotEquivalenceExample52) {
+  // Paper Example 5.2: T1 ~ T2 ~ T3 (with the multiplicities from
+  // Example 5.1: 3 during [03,09), 2 during [18,20)).
+  NatSemiring n;
+  TemporalElement<NatSemiring> t1;
+  t1.Add(Interval(3, 9), 3);
+  t1.Add(Interval(18, 20), 2);
+  TemporalElement<NatSemiring> t2;
+  t2.Add(Interval(3, 9), 1);
+  t2.Add(Interval(3, 6), 2);
+  t2.Add(Interval(6, 9), 2);
+  t2.Add(Interval(18, 20), 2);
+  TemporalElement<NatSemiring> t3;
+  t3.Add(Interval(3, 5), 3);
+  t3.Add(Interval(5, 9), 3);
+  t3.Add(Interval(18, 20), 2);
+  EXPECT_TRUE(SnapshotEquivalent(n, t1, t2));
+  EXPECT_TRUE(SnapshotEquivalent(n, t1, t3));
+  TemporalElement<NatSemiring> different;
+  different.Add(Interval(3, 9), 3);
+  EXPECT_FALSE(SnapshotEquivalent(n, t1, different));
+}
+
+// --- Lemma 5.1 as property tests over all semirings. -----------------------
+
+template <typename S>
+class CoalesceLemmaTest : public ::testing::Test {};
+
+using AllSemirings = ::testing::Types<BoolSemiring, NatSemiring,
+                                      LineageSemiring, TropicalSemiring>;
+TYPED_TEST_SUITE(CoalesceLemmaTest, AllSemirings);
+
+TYPED_TEST(CoalesceLemmaTest, Idempotence) {
+  TypeParam k;
+  Rng rng(0x5eed0001);
+  TimeDomain dom{0, 20};
+  for (int i = 0; i < 300; ++i) {
+    auto te = RandomTemporalElement(k, dom, rng, 5);
+    auto c1 = Coalesce(k, te);
+    auto c2 = Coalesce(k, c1);
+    ASSERT_TRUE(StructurallyEqual(k, c1, c2))
+        << "C(C(T)) != C(T) for T = " << ToString(k, te);
+  }
+}
+
+TYPED_TEST(CoalesceLemmaTest, EquivalencePreservation) {
+  TypeParam k;
+  Rng rng(0x5eed0002);
+  TimeDomain dom{0, 20};
+  for (int i = 0; i < 300; ++i) {
+    auto te = RandomTemporalElement(k, dom, rng, 5);
+    auto c = Coalesce(k, te);
+    for (TimePoint t = dom.tmin; t < dom.tmax; ++t) {
+      ASSERT_TRUE(k.Equal(Timeslice(k, te, t), Timeslice(k, c, t)))
+          << "tau_" << t << " differs after coalescing "
+          << ToString(k, te);
+    }
+  }
+}
+
+TYPED_TEST(CoalesceLemmaTest, Uniqueness) {
+  // T1 ~ T2 iff C(T1) == C(T2): coalescing is a unique normal form for
+  // snapshot-equivalence classes.
+  TypeParam k;
+  Rng rng(0x5eed0003);
+  TimeDomain dom{0, 16};
+  for (int i = 0; i < 300; ++i) {
+    auto t1 = RandomTemporalElement(k, dom, rng, 4);
+    auto t2 = RandomTemporalElement(k, dom, rng, 4);
+    bool equivalent = true;
+    for (TimePoint t = dom.tmin; t < dom.tmax && equivalent; ++t) {
+      equivalent = k.Equal(Timeslice(k, t1, t), Timeslice(k, t2, t));
+    }
+    bool same_normal_form =
+        StructurallyEqual(k, Coalesce(k, t1), Coalesce(k, t2));
+    ASSERT_EQ(equivalent, same_normal_form)
+        << "uniqueness violated for T1 = " << ToString(k, t1)
+        << ", T2 = " << ToString(k, t2);
+  }
+}
+
+TYPED_TEST(CoalesceLemmaTest, NormalFormShape) {
+  // Coalesced elements have disjoint, sorted intervals; adjacent
+  // intervals carry different annotations; no zero annotations.
+  TypeParam k;
+  Rng rng(0x5eed0004);
+  TimeDomain dom{0, 20};
+  for (int i = 0; i < 300; ++i) {
+    auto c = Coalesce(k, RandomTemporalElement(k, dom, rng, 5));
+    for (size_t j = 0; j < c.size(); ++j) {
+      ASSERT_FALSE(IsZero(k, c.entries()[j].second));
+      if (j + 1 < c.size()) {
+        const Interval& cur = c.entries()[j].first;
+        const Interval& nxt = c.entries()[j + 1].first;
+        ASSERT_LE(cur.end, nxt.begin) << "overlapping normal form";
+        if (cur.end == nxt.begin) {
+          ASSERT_FALSE(k.Equal(c.entries()[j].second,
+                               c.entries()[j + 1].second))
+              << "adjacent equal annotations not merged";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace periodk

@@ -1,0 +1,82 @@
+// Unit tests for the dynamically typed Value and row helpers.
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace periodk {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::String("1").is_numeric());
+}
+
+TEST(ValueTest, TotalOrderAcrossTypes) {
+  // null < bool < numeric < string.
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(5), Value::String(""));
+}
+
+TEST(ValueTest, NumericComparesAcrossIntAndDouble) {
+  EXPECT_EQ(Value::Int(3), Value::Double(3.0));
+  EXPECT_LT(Value::Int(3), Value::Double(3.5));
+  EXPECT_LT(Value::Double(2.5), Value::Int(3));
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+}
+
+TEST(ValueTest, NullsEqualUnderTotalOrder) {
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, SqlCompareNullPropagates) {
+  EXPECT_FALSE(SqlCompare(Value::Null(), Value::Int(1)).has_value());
+  EXPECT_FALSE(SqlCompare(Value::Int(1), Value::Null()).has_value());
+  EXPECT_EQ(SqlCompare(Value::Int(1), Value::Int(1)).value(), 0);
+  EXPECT_LT(SqlCompare(Value::Int(1), Value::Int(2)).value(), 0);
+  EXPECT_GT(SqlCompare(Value::String("b"), Value::String("a")).value(), 0);
+}
+
+TEST(ValueTest, SqlCompareIncomparableTypes) {
+  EXPECT_FALSE(SqlCompare(Value::Int(1), Value::String("1")).has_value());
+  EXPECT_FALSE(SqlCompare(Value::Bool(true), Value::Int(1)).has_value());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::String("abc").ToString(), "abc");
+}
+
+TEST(RowTest, CompareRowsLexicographic) {
+  Row a = {Value::Int(1), Value::String("x")};
+  Row b = {Value::Int(1), Value::String("y")};
+  Row c = {Value::Int(1)};
+  EXPECT_LT(CompareRows(a, b), 0);
+  EXPECT_EQ(CompareRows(a, a), 0);
+  EXPECT_LT(CompareRows(c, a), 0);  // prefix sorts first
+}
+
+TEST(RowTest, HashConsistentWithEquality) {
+  Row a = {Value::Int(3), Value::Null()};
+  Row b = {Value::Double(3.0), Value::Null()};
+  EXPECT_TRUE(RowEq()(a, b));
+  EXPECT_EQ(RowHash()(a), RowHash()(b));
+}
+
+TEST(RowTest, ToString) {
+  Row r = {Value::Int(1), Value::String("a"), Value::Null()};
+  EXPECT_EQ(RowToString(r), "(1, a, NULL)");
+}
+
+}  // namespace
+}  // namespace periodk
