@@ -1,5 +1,5 @@
-// Ablation study for the two Section 9 optimizations (DESIGN.md
-// experiments A1/A2):
+// Ablation study for the two Section 9 optimizations (experiments
+// A1/A2 in docs/benchmarks.md):
 //  A1 coalesce hoisting -- one final coalesce (justified by Lemma 6.1)
 //     vs a coalesce after every rewritten operator;
 //  A2 pre-aggregation   -- aggregate per (group, interval) before the

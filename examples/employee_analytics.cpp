@@ -6,6 +6,8 @@
 // realistic reporting scenario: headcount and salary statistics *as of
 // every point in time* from a single declarative query.
 //
+// Build and run:
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/example_employee_analytics
 #include <cstdio>
 

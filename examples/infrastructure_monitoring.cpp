@@ -10,6 +10,8 @@
 //   * which capacity reservations were not backed by a running
 //     replica, counting multiplicities?  (snapshot bag difference)
 //
+// Build and run:
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/example_infrastructure_monitoring
 #include <cstdio>
 

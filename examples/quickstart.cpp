@@ -10,7 +10,7 @@
 //                 (snapshot bag difference)
 //
 // Build and run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/example_quickstart
 #include <cstdio>
 

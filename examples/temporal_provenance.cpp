@@ -9,6 +9,8 @@
 // the logical model (period K-relations) using the annotated-relation
 // API.
 //
+// Build and run:
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/example_temporal_provenance
 #include <cstdio>
 

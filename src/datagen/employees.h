@@ -1,6 +1,6 @@
 // Synthetic generator for the MySQL `employees` benchmark dataset used
 // in the paper's Section 10 evaluation (substitution documented in
-// DESIGN.md): six period tables with the same schemas and temporal
+// docs/benchmarks.md): six period tables with the same schemas and temporal
 // shape -- salaries dominate with roughly yearly raises per employee,
 // titles and department assignments change occasionally, and each
 // department has a succession of managers.  Fully deterministic given

@@ -1,6 +1,7 @@
 // Valid-time TPC-H generator: the stand-in for TPC-BiH (Kaufmann et
 // al.) used in the paper's Section 10.4 experiment (substitution
-// documented in DESIGN.md).  Generates the eight TPC-H tables as period
+// documented in docs/benchmarks.md).  Generates the eight TPC-H tables
+// as period
 // relations: dimension rows carry a small version history (account
 // balances and quantities change over time), orders/lineitems are valid
 // from their creation until a generated end-of-life.  Dates are integer
