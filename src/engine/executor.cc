@@ -1,10 +1,13 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "common/status.h"
 #include "common/str_util.h"
+#include "engine/interval_join.h"
 #include "engine/temporal_ops.h"
 
 namespace periodk {
@@ -26,10 +29,46 @@ std::vector<std::string> Catalog::TableNames() const {
 
 namespace {
 
-Relation ExecSelect(const Plan& plan, Relation input) {
+// Execution passes relations between operators through shared handles
+// so that leaves need no materialization: scans borrow the catalog's
+// relation and constants share the plan's, while every computed
+// intermediate is uniquely owned.  Operators that only read take a
+// const reference; operators that want to consume their input call
+// Materialize, which moves from a uniquely-owned intermediate and
+// copies only when the input is borrowed.
+using RelHandle = std::shared_ptr<const Relation>;
+
+RelHandle Borrow(const Relation& relation) {
+  // Aliasing handle with no control block: use_count() == 0 marks it
+  // as borrowed.  Lifetime is guaranteed by the catalog/plan outliving
+  // the execution.
+  return RelHandle(RelHandle(), &relation);
+}
+
+RelHandle Own(Relation relation) {
+  return std::make_shared<Relation>(std::move(relation));
+}
+
+Relation Materialize(RelHandle h) {
+  if (h.use_count() == 1) {
+    // Sole owner of a computed intermediate (created via Own above, so
+    // the underlying object is non-const): steal it.
+    return std::move(*std::const_pointer_cast<Relation>(h));
+  }
+  return *h;
+}
+
+Relation ExecSelect(const Plan& plan, RelHandle in) {
   Relation out(plan.schema);
-  for (Row& row : input.mutable_rows()) {
-    if (plan.predicate->EvalBool(row)) out.AddRow(std::move(row));
+  if (in.use_count() == 1) {
+    Relation input = Materialize(std::move(in));
+    for (Row& row : input.mutable_rows()) {
+      if (plan.predicate->EvalBool(row)) out.AddRow(std::move(row));
+    }
+  } else {
+    for (const Row& row : in->rows()) {
+      if (plan.predicate->EvalBool(row)) out.AddRow(row);
+    }
   }
   return out;
 }
@@ -46,66 +85,62 @@ Relation ExecProject(const Plan& plan, const Relation& input) {
   return out;
 }
 
-Relation ExecJoin(const Plan& plan, const Relation& left,
-                  const Relation& right) {
-  std::vector<std::pair<int, int>> keys;
-  std::vector<ExprPtr> residual_conjuncts;
-  ExtractEquiKeys(plan.predicate, left.schema().size(), &keys,
-                  &residual_conjuncts);
-  ExprPtr residual =
-      residual_conjuncts.empty() ? nullptr : AndAll(residual_conjuncts);
+Relation ExecHashJoin(const Plan& plan, const Relation& left,
+                      const Relation& right) {
+  const std::vector<std::pair<int, int>>& keys = plan.join.equi_keys;
+  const ExprPtr& residual = plan.join.residual;
   Relation out(plan.schema);
-
-  if (!keys.empty()) {
-    // Hash join: build on the right input.
-    std::unordered_map<Row, std::vector<const Row*>, RowHash, RowEq> build;
-    build.reserve(right.size());
-    for (const Row& row : right.rows()) {
-      Row key;
-      key.reserve(keys.size());
-      bool has_null = false;
-      for (auto& [l, r] : keys) {
-        const Value& v = row[static_cast<size_t>(r)];
-        if (v.is_null()) has_null = true;
-        key.push_back(v);
-      }
-      if (has_null) continue;  // NULL never equi-joins
-      build[key].push_back(&row);
+  // Build on the right input.
+  std::unordered_map<Row, std::vector<const Row*>, RowHash, RowEq> build;
+  build.reserve(right.size());
+  for (const Row& row : right.rows()) {
+    Row key;
+    key.reserve(keys.size());
+    bool has_null = false;
+    for (const auto& [l, r] : keys) {
+      const Value& v = row[static_cast<size_t>(r)];
+      if (v.is_null()) has_null = true;
+      key.push_back(v);
     }
-    for (const Row& lrow : left.rows()) {
-      Row key;
-      key.reserve(keys.size());
-      bool has_null = false;
-      for (auto& [l, r] : keys) {
-        const Value& v = lrow[static_cast<size_t>(l)];
-        if (v.is_null()) has_null = true;
-        key.push_back(v);
-      }
-      if (has_null) continue;
-      auto it = build.find(key);
-      if (it == build.end()) continue;
-      for (const Row* rrow : it->second) {
-        Row combined = lrow;
-        combined.insert(combined.end(), rrow->begin(), rrow->end());
-        if (residual == nullptr || residual->EvalBool(combined)) {
-          out.AddRow(std::move(combined));
-        }
-      }
-    }
-    return out;
+    if (has_null) continue;  // NULL never equi-joins
+    build[key].push_back(&row);
   }
-
-  // Nested-loop fallback for non-equi predicates.
   for (const Row& lrow : left.rows()) {
-    for (const Row& rrow : right.rows()) {
+    Row key;
+    key.reserve(keys.size());
+    bool has_null = false;
+    for (const auto& [l, r] : keys) {
+      const Value& v = lrow[static_cast<size_t>(l)];
+      if (v.is_null()) has_null = true;
+      key.push_back(v);
+    }
+    if (has_null) continue;
+    auto it = build.find(key);
+    if (it == build.end()) continue;
+    for (const Row* rrow : it->second) {
       Row combined = lrow;
-      combined.insert(combined.end(), rrow.begin(), rrow.end());
-      if (plan.predicate->EvalBool(combined)) {
+      combined.insert(combined.end(), rrow->begin(), rrow->end());
+      if (residual == nullptr || residual->EvalBool(combined)) {
         out.AddRow(std::move(combined));
       }
     }
   }
   return out;
+}
+
+Relation ExecJoin(const Plan& plan, const Relation& left,
+                  const Relation& right) {
+  // Physical join selection from the build-time predicate analysis:
+  // interval sweep when an overlap conjunct was recognized (with the
+  // equi-keys as partition keys), hash join on plain equi-keys, nested
+  // loop only for genuinely opaque predicates.
+  if (plan.join.overlap.has_value()) {
+    return IntervalOverlapJoin(plan, left, right);
+  }
+  if (!plan.join.equi_keys.empty()) {
+    return ExecHashJoin(plan, left, right);
+  }
+  return NestedLoopJoin(plan, left, right);
 }
 
 Relation ExecUnionAll(const Plan& plan, Relation left, const Relation& right) {
@@ -203,51 +238,67 @@ Relation ExecSort(const Plan& plan, Relation input) {
   return Relation(plan.schema, std::move(input.mutable_rows()));
 }
 
+RelHandle ExecuteNode(const PlanPtr& plan, const Catalog& catalog) {
+  switch (plan->kind) {
+    case PlanKind::kScan:
+      return Borrow(catalog.Get(plan->table));
+    case PlanKind::kConstant:
+      return plan->constant;
+    case PlanKind::kSelect:
+      return Own(ExecSelect(*plan, ExecuteNode(plan->left, catalog)));
+    case PlanKind::kProject:
+      return Own(ExecProject(*plan, *ExecuteNode(plan->left, catalog)));
+    case PlanKind::kJoin: {
+      RelHandle l = ExecuteNode(plan->left, catalog);
+      RelHandle r = ExecuteNode(plan->right, catalog);
+      return Own(ExecJoin(*plan, *l, *r));
+    }
+    case PlanKind::kUnionAll: {
+      RelHandle l = ExecuteNode(plan->left, catalog);
+      RelHandle r = ExecuteNode(plan->right, catalog);
+      return Own(ExecUnionAll(*plan, Materialize(std::move(l)), *r));
+    }
+    case PlanKind::kExceptAll: {
+      RelHandle l = ExecuteNode(plan->left, catalog);
+      RelHandle r = ExecuteNode(plan->right, catalog);
+      return Own(ExecExceptAll(*plan, Materialize(std::move(l)), *r));
+    }
+    case PlanKind::kAntiJoin: {
+      RelHandle l = ExecuteNode(plan->left, catalog);
+      RelHandle r = ExecuteNode(plan->right, catalog);
+      return Own(ExecAntiJoin(*plan, Materialize(std::move(l)), *r));
+    }
+    case PlanKind::kAggregate:
+      return Own(ExecAggregate(*plan, *ExecuteNode(plan->left, catalog)));
+    case PlanKind::kDistinct:
+      return Own(ExecDistinct(
+          *plan, Materialize(ExecuteNode(plan->left, catalog))));
+    case PlanKind::kSort:
+      return Own(
+          ExecSort(*plan, Materialize(ExecuteNode(plan->left, catalog))));
+    case PlanKind::kCoalesce:
+      return Own(CoalesceRelation(*ExecuteNode(plan->left, catalog),
+                                  plan->coalesce_impl));
+    case PlanKind::kSplit: {
+      RelHandle l = ExecuteNode(plan->left, catalog);
+      RelHandle r = ExecuteNode(plan->right, catalog);
+      return Own(SplitRelation(*l, *r, plan->split_group));
+    }
+    case PlanKind::kSplitAggregate:
+      return Own(SplitAggregateRelation(
+          *ExecuteNode(plan->left, catalog), plan->split_group, plan->aggs,
+          plan->gap_rows, plan->domain, plan->pre_aggregate));
+    case PlanKind::kTimeslice:
+      return Own(TimesliceEncoded(*ExecuteNode(plan->left, catalog),
+                                  plan->slice_time));
+  }
+  throw EngineError("unknown plan kind");
+}
+
 }  // namespace
 
 Relation Execute(const PlanPtr& plan, const Catalog& catalog) {
-  switch (plan->kind) {
-    case PlanKind::kScan:
-      return catalog.Get(plan->table);
-    case PlanKind::kConstant:
-      return *plan->constant;
-    case PlanKind::kSelect:
-      return ExecSelect(*plan, Execute(plan->left, catalog));
-    case PlanKind::kProject:
-      return ExecProject(*plan, Execute(plan->left, catalog));
-    case PlanKind::kJoin:
-      return ExecJoin(*plan, Execute(plan->left, catalog),
-                      Execute(plan->right, catalog));
-    case PlanKind::kUnionAll:
-      return ExecUnionAll(*plan, Execute(plan->left, catalog),
-                          Execute(plan->right, catalog));
-    case PlanKind::kExceptAll:
-      return ExecExceptAll(*plan, Execute(plan->left, catalog),
-                           Execute(plan->right, catalog));
-    case PlanKind::kAntiJoin:
-      return ExecAntiJoin(*plan, Execute(plan->left, catalog),
-                          Execute(plan->right, catalog));
-    case PlanKind::kAggregate:
-      return ExecAggregate(*plan, Execute(plan->left, catalog));
-    case PlanKind::kDistinct:
-      return ExecDistinct(*plan, Execute(plan->left, catalog));
-    case PlanKind::kSort:
-      return ExecSort(*plan, Execute(plan->left, catalog));
-    case PlanKind::kCoalesce:
-      return CoalesceRelation(Execute(plan->left, catalog),
-                              plan->coalesce_impl);
-    case PlanKind::kSplit:
-      return SplitRelation(Execute(plan->left, catalog),
-                           Execute(plan->right, catalog), plan->split_group);
-    case PlanKind::kSplitAggregate:
-      return SplitAggregateRelation(Execute(plan->left, catalog),
-                                    plan->split_group, plan->aggs,
-                                    plan->gap_rows, plan->domain,
-                                    plan->pre_aggregate);
-    case PlanKind::kTimeslice:
-      return TimesliceEncoded(Execute(plan->left, catalog), plan->slice_time);
-  }
-  throw EngineError("unknown plan kind");
+  return Materialize(ExecuteNode(plan, catalog));
 }
 
 }  // namespace periodk

@@ -1,8 +1,11 @@
 // Catalog of materialized relations and the plan executor.  Execution is
 // operator-at-a-time (each operator materializes its output), which
-// keeps the engine simple and is adequate for the paper-scale workloads;
-// joins use hash joins when equi-keys can be extracted from the
-// predicate and fall back to nested loops otherwise.
+// keeps the engine simple and is adequate for the paper-scale workloads.
+// Leaves are zero-copy: scans borrow the catalog's relation, constants
+// share the plan's.  Physical join selection reads the plan's build-time
+// predicate analysis (ra/join_analysis.h): the sweep-based interval
+// join when an overlap conjunct was recognized, a hash join on plain
+// equi-keys, and a nested loop only for genuinely opaque predicates.
 #ifndef PERIODK_ENGINE_EXECUTOR_H_
 #define PERIODK_ENGINE_EXECUTOR_H_
 

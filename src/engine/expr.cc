@@ -503,35 +503,4 @@ bool ExprStructurallyEqual(const ExprPtr& a, const ExprPtr& b) {
   return true;
 }
 
-void ExtractEquiKeys(const ExprPtr& pred, size_t left_arity,
-                     std::vector<std::pair<int, int>>* keys,
-                     std::vector<ExprPtr>* residual) {
-  if (pred->kind == ExprKind::kAnd) {
-    ExtractEquiKeys(pred->children[0], left_arity, keys, residual);
-    ExtractEquiKeys(pred->children[1], left_arity, keys, residual);
-    return;
-  }
-  if (pred->kind == ExprKind::kCompare && pred->cmp == CompareOp::kEq &&
-      pred->children[0]->kind == ExprKind::kColumn &&
-      pred->children[1]->kind == ExprKind::kColumn) {
-    int a = pred->children[0]->column;
-    int b = pred->children[1]->column;
-    int la = static_cast<int>(left_arity);
-    if (a < la && b >= la) {
-      keys->emplace_back(a, b - la);
-      return;
-    }
-    if (b < la && a >= la) {
-      keys->emplace_back(b, a - la);
-      return;
-    }
-  }
-  // Literal TRUE conjuncts carry no information.
-  if (pred->kind == ExprKind::kLiteral &&
-      pred->literal.type() == ValueType::kBool && pred->literal.AsBool()) {
-    return;
-  }
-  residual->push_back(pred);
-}
-
 }  // namespace periodk

@@ -114,12 +114,8 @@ void CollectColumns(const ExprPtr& e, std::vector<int>* out);
 /// match SELECT expressions against GROUP BY expressions).
 bool ExprStructurallyEqual(const ExprPtr& a, const ExprPtr& b);
 
-/// Splits a predicate over a concatenated (left ++ right) schema into
-/// equi-join key pairs (left index, right-relative index) and remaining
-/// conjuncts.  Used by the executor to pick hash joins.
-void ExtractEquiKeys(const ExprPtr& pred, size_t left_arity,
-                     std::vector<std::pair<int, int>>* keys,
-                     std::vector<ExprPtr>* residual);
+// Join-predicate decomposition (equi-keys, overlap conjunct, residual)
+// lives in ra/join_analysis.h; MakeJoin runs it at plan build time.
 
 }  // namespace periodk
 

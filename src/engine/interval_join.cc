@@ -1,0 +1,199 @@
+#include "engine/interval_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "temporal/interval.h"
+
+namespace periodk {
+
+namespace {
+
+// One input row staged for the sweep with its decoded interval.
+struct SweepRow {
+  TimePoint begin = 0;
+  TimePoint end = 0;
+  const Row* row = nullptr;
+};
+
+// Per-equi-key bucket.  Rows whose endpoint columns decode to a
+// well-formed interval (integers, begin < end) ride the sweep; the rest
+// -- NULL or string endpoints, empty-validity rows -- can still satisfy
+// the raw predicate under SQL comparison semantics (an empty interval's
+// `b1 < e2 AND b2 < e1` holds against any interval containing it), so
+// they take the nested-loop slow lane.
+struct Bucket {
+  std::vector<SweepRow> fast_left;
+  std::vector<SweepRow> fast_right;
+  std::vector<const Row*> slow_left;
+  std::vector<const Row*> slow_right;
+};
+
+bool DecodeInterval(const Row& row, int bcol, int ecol, TimePoint* b,
+                    TimePoint* e) {
+  const Value& vb = row[static_cast<size_t>(bcol)];
+  const Value& ve = row[static_cast<size_t>(ecol)];
+  if (vb.type() != ValueType::kInt || ve.type() != ValueType::kInt) {
+    return false;
+  }
+  *b = vb.AsInt();
+  *e = ve.AsInt();
+  return *b < *e;
+}
+
+Row Concat(const Row& lrow, const Row& rrow) {
+  Row combined;
+  combined.reserve(lrow.size() + rrow.size());
+  combined.insert(combined.end(), lrow.begin(), lrow.end());
+  combined.insert(combined.end(), rrow.begin(), rrow.end());
+  return combined;
+}
+
+}  // namespace
+
+Relation NestedLoopJoin(const Plan& plan, const Relation& left,
+                        const Relation& right) {
+  Relation out(plan.schema);
+  for (const Row& lrow : left.rows()) {
+    for (const Row& rrow : right.rows()) {
+      Row combined = Concat(lrow, rrow);
+      if (plan.predicate->EvalBool(combined)) {
+        out.AddRow(std::move(combined));
+      }
+    }
+  }
+  return out;
+}
+
+Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
+                             const Relation& right) {
+  const JoinAnalysis& ja = plan.join;
+  if (!ja.overlap.has_value()) {
+    throw EngineError("IntervalOverlapJoin requires an overlap conjunct");
+  }
+  const OverlapSpec& ov = *ja.overlap;
+  Relation out(plan.schema);
+
+  // The sweep has already established the equi-keys (by bucketing) and
+  // the overlap conjunct; only the residual remains to check.
+  auto emit_fast = [&](const Row& lrow, const Row& rrow) {
+    Row combined = Concat(lrow, rrow);
+    if (ja.residual == nullptr || ja.residual->EvalBool(combined)) {
+      out.AddRow(std::move(combined));
+    }
+  };
+  // Slow-lane pairs get the full original predicate: re-checking the
+  // already-matched keys is harmless and keeps the lane trivially
+  // equivalent to the nested-loop reference.
+  auto emit_slow = [&](const Row& lrow, const Row& rrow) {
+    Row combined = Concat(lrow, rrow);
+    if (plan.predicate->EvalBool(combined)) {
+      out.AddRow(std::move(combined));
+    }
+  };
+
+  // Hash-partition both inputs on the equi-keys (single bucket for a
+  // pure temporal join).  NULL keys never equi-join, matching the
+  // three-valued semantics of the predicate they came from.
+  std::unordered_map<Row, Bucket, RowHash, RowEq> buckets;
+  auto stage = [&](const Relation& rel, bool is_left) {
+    int bcol = is_left ? ov.left_begin : ov.right_begin;
+    int ecol = is_left ? ov.left_end : ov.right_end;
+    for (const Row& row : rel.rows()) {
+      Row key;
+      key.reserve(ja.equi_keys.size());
+      bool has_null = false;
+      for (const auto& [l, r] : ja.equi_keys) {
+        const Value& v = row[static_cast<size_t>(is_left ? l : r)];
+        if (v.is_null()) {
+          has_null = true;
+          break;
+        }
+        key.push_back(v);
+      }
+      if (has_null) continue;
+      Bucket& bucket = buckets[key];
+      TimePoint b = 0;
+      TimePoint e = 0;
+      if (DecodeInterval(row, bcol, ecol, &b, &e)) {
+        (is_left ? bucket.fast_left : bucket.fast_right)
+            .push_back(SweepRow{b, e, &row});
+      } else {
+        (is_left ? bucket.slow_left : bucket.slow_right).push_back(&row);
+      }
+    }
+  };
+  stage(left, /*is_left=*/true);
+  stage(right, /*is_left=*/false);
+
+  auto by_begin = [](const SweepRow& a, const SweepRow& b) {
+    return a.begin < b.begin;
+  };
+  // Active sets are min-heaps on interval end so expired entries pop in
+  // O(log n); emission scans the underlying vector (heap order is
+  // irrelevant -- after pruning, every active entry overlaps).
+  using ActiveEntry = std::pair<TimePoint, const Row*>;
+  auto ends_later = [](const ActiveEntry& a, const ActiveEntry& b) {
+    return a.first > b.first;
+  };
+  std::vector<ActiveEntry> active_l;
+  std::vector<ActiveEntry> active_r;
+
+  for (auto& [key, bucket] : buckets) {
+    // Slow lane first: every pair with a malformed side.
+    for (const Row* lrow : bucket.slow_left) {
+      for (const SweepRow& r : bucket.fast_right) emit_slow(*lrow, *r.row);
+      for (const Row* rrow : bucket.slow_right) emit_slow(*lrow, *rrow);
+    }
+    for (const SweepRow& l : bucket.fast_left) {
+      for (const Row* rrow : bucket.slow_right) emit_slow(*l.row, *rrow);
+    }
+
+    // Plane sweep over the well-formed intervals: advance both inputs
+    // in begin order; an arriving interval pairs with every active
+    // opposite interval that has not yet ended.  Each overlapping pair
+    // is emitted exactly once, when its later-starting member arrives.
+    std::vector<SweepRow>& ls = bucket.fast_left;
+    std::vector<SweepRow>& rs = bucket.fast_right;
+    if (ls.empty() || rs.empty()) continue;
+    std::sort(ls.begin(), ls.end(), by_begin);
+    std::sort(rs.begin(), rs.end(), by_begin);
+    active_l.clear();
+    active_r.clear();
+    size_t i = 0;
+    size_t j = 0;
+    while (i < ls.size() || j < rs.size()) {
+      bool take_left =
+          j >= rs.size() || (i < ls.size() && ls[i].begin <= rs[j].begin);
+      if (take_left) {
+        const SweepRow& cur = ls[i++];
+        while (!active_r.empty() && active_r.front().first <= cur.begin) {
+          std::pop_heap(active_r.begin(), active_r.end(), ends_later);
+          active_r.pop_back();
+        }
+        for (const ActiveEntry& entry : active_r) {
+          emit_fast(*cur.row, *entry.second);
+        }
+        active_l.emplace_back(cur.end, cur.row);
+        std::push_heap(active_l.begin(), active_l.end(), ends_later);
+      } else {
+        const SweepRow& cur = rs[j++];
+        while (!active_l.empty() && active_l.front().first <= cur.begin) {
+          std::pop_heap(active_l.begin(), active_l.end(), ends_later);
+          active_l.pop_back();
+        }
+        for (const ActiveEntry& entry : active_l) {
+          emit_fast(*entry.second, *cur.row);
+        }
+        active_r.emplace_back(cur.end, cur.row);
+        std::push_heap(active_r.begin(), active_r.end(), ends_later);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace periodk

@@ -1,0 +1,34 @@
+// Sweep-based interval-overlap join (the temporal hot path of the
+// paper's Sec. 10 evaluation).  RewriteJoin emits `theta' AND overlaps`
+// predicates; once MakeJoin has recognized the overlap conjunct
+// structurally (ra/join_analysis.h), this operator answers it with a
+// hash-partition on the equi-keys followed by an endpoint plane sweep
+// per partition -- O(n log n + output) instead of the O(n * m) nested
+// loop a pure temporal join (no equi-key) otherwise degenerates to.
+#ifndef PERIODK_ENGINE_INTERVAL_JOIN_H_
+#define PERIODK_ENGINE_INTERVAL_JOIN_H_
+
+#include "engine/relation.h"
+#include "ra/plan.h"
+
+namespace periodk {
+
+/// Executes a kJoin plan whose analysis carries an overlap conjunct
+/// (plan.join.overlap must be set).  Exactly equivalent to evaluating
+/// plan.predicate over the cross product: rows whose endpoint columns
+/// are not well-formed intervals (non-integer values, begin >= end) are
+/// routed through a per-partition nested-loop slow lane so SQL
+/// three-valued comparison semantics are preserved bit-for-bit.
+Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
+                             const Relation& right);
+
+/// Reference implementation: O(n * m) nested loop evaluating the full
+/// join predicate on every pair.  Kept as the correctness baseline for
+/// the property tests and benchmarks, and as the executor's fallback
+/// for genuinely opaque predicates.
+Relation NestedLoopJoin(const Plan& plan, const Relation& left,
+                        const Relation& right);
+
+}  // namespace periodk
+
+#endif  // PERIODK_ENGINE_INTERVAL_JOIN_H_

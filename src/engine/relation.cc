@@ -2,9 +2,26 @@
 
 #include <algorithm>
 
+#include "common/status.h"
 #include "common/str_util.h"
 
 namespace periodk {
+
+void Relation::ThrowArityMismatch(size_t got) const {
+  throw EngineError(StrCat("AddRow: row has ", got, " values but schema ",
+                           schema_.ToString(), " has ", schema_.size(),
+                           " columns"));
+}
+
+void Relation::CheckRowArities() const {
+  for (const Row& row : rows_) {
+    if (row.size() != schema_.size()) {
+      throw EngineError(StrCat("Relation: row has ", row.size(),
+                               " values but schema ", schema_.ToString(),
+                               " has ", schema_.size(), " columns"));
+    }
+  }
+}
 
 void Relation::SortRows() {
   std::sort(rows_.begin(), rows_.end(),

@@ -18,7 +18,9 @@ class Relation {
   Relation() = default;
   explicit Relation(Schema schema) : schema_(std::move(schema)) {}
   Relation(Schema schema, std::vector<Row> rows)
-      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+      : schema_(std::move(schema)), rows_(std::move(rows)) {
+    CheckRowArities();
+  }
 
   const Schema& schema() const { return schema_; }
   const std::vector<Row>& rows() const { return rows_; }
@@ -26,7 +28,13 @@ class Relation {
   size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
 
-  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+  /// Appends a row.  Rejects arity mismatches: a row narrower or wider
+  /// than the schema would silently corrupt every downstream operator
+  /// (the check is one integer compare, so it is always on).
+  void AddRow(Row row) {
+    if (row.size() != schema_.size()) ThrowArityMismatch(row.size());
+    rows_.push_back(std::move(row));
+  }
   void Reserve(size_t n) { rows_.reserve(n); }
 
   /// Sorts rows lexicographically; canonical order for comparisons and
@@ -40,6 +48,11 @@ class Relation {
   std::string ToString(size_t limit = 0) const;
 
  private:
+  [[noreturn]] void ThrowArityMismatch(size_t got) const;
+  /// Bulk-construction counterpart of the AddRow check: one integer
+  /// compare per row, negligible next to whatever produced the rows.
+  void CheckRowArities() const;
+
   Schema schema_;
   std::vector<Row> rows_;
 };

@@ -361,8 +361,13 @@ Relation SplitAggregateRelation(const Relation& input,
       p.states[i].Accumulate(aggs[i].arg->Eval(row));
     }
   }
-  if (gap_rows && groups.empty()) {
-    groups[Row{}] = {};  // empty input still produces the full-domain gap
+  // Global aggregation over an empty input still produces the
+  // full-domain gap row.  With grouping there is no such row: gaps are
+  // emitted per *observed* group, and an empty input has none (a
+  // synthetic empty-key group would emit rows narrower than the output
+  // schema).
+  if (gap_rows && group_cols.empty() && groups.empty()) {
+    groups[Row{}] = {};
   }
 
   // Phase 2: per group, sweep partial endpoints maintaining running

@@ -1,0 +1,122 @@
+#include "ra/join_analysis.h"
+
+namespace periodk {
+
+namespace {
+
+void FlattenConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind == ExprKind::kAnd) {
+    FlattenConjuncts(e->children[0], out);
+    FlattenConjuncts(e->children[1], out);
+    return;
+  }
+  // Literal TRUE conjuncts carry no information.
+  if (e->kind == ExprKind::kLiteral &&
+      e->literal.type() == ValueType::kBool && e->literal.AsBool()) {
+    return;
+  }
+  out->push_back(e);
+}
+
+// A conjunct `value(lo) < value(hi)` between columns of opposite inputs,
+// normalized so kGt reads as a flipped kLt.
+struct CrossLess {
+  int lo = -1;        // global column index of the smaller side
+  int hi = -1;        // global column index of the larger side
+  bool lo_is_left = false;
+};
+
+std::optional<CrossLess> AsCrossLess(const ExprPtr& e, int left_arity) {
+  if (e->kind != ExprKind::kCompare) return std::nullopt;
+  if (e->cmp != CompareOp::kLt && e->cmp != CompareOp::kGt) {
+    return std::nullopt;
+  }
+  if (e->children[0]->kind != ExprKind::kColumn ||
+      e->children[1]->kind != ExprKind::kColumn) {
+    return std::nullopt;
+  }
+  CrossLess c;
+  if (e->cmp == CompareOp::kLt) {
+    c.lo = e->children[0]->column;
+    c.hi = e->children[1]->column;
+  } else {
+    c.lo = e->children[1]->column;
+    c.hi = e->children[0]->column;
+  }
+  if ((c.lo < left_arity) == (c.hi < left_arity)) return std::nullopt;
+  c.lo_is_left = c.lo < left_arity;
+  return c;
+}
+
+}  // namespace
+
+JoinAnalysis AnalyzeJoinPredicate(const ExprPtr& predicate,
+                                  size_t left_arity) {
+  JoinAnalysis out;
+  int la = static_cast<int>(left_arity);
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(predicate, &conjuncts);
+
+  // First pass: one `left < right` and one `right < left` strict
+  // inequality pair up into the overlap conjunct; further candidates
+  // stay residual (conjoining them again is always sound).
+  std::optional<CrossLess> fwd;  // left[lo] < right[hi]
+  std::optional<CrossLess> bwd;  // right[lo] < left[hi]
+  std::vector<bool> consumed(conjuncts.size(), false);
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    const ExprPtr& c = conjuncts[i];
+    if (c->kind == ExprKind::kCompare && c->cmp == CompareOp::kEq &&
+        c->children[0]->kind == ExprKind::kColumn &&
+        c->children[1]->kind == ExprKind::kColumn) {
+      int a = c->children[0]->column;
+      int b = c->children[1]->column;
+      if (a < la && b >= la) {
+        out.equi_keys.emplace_back(a, b - la);
+        consumed[i] = true;
+        continue;
+      }
+      if (b < la && a >= la) {
+        out.equi_keys.emplace_back(b, a - la);
+        consumed[i] = true;
+        continue;
+      }
+    }
+    std::optional<CrossLess> less = AsCrossLess(c, la);
+    if (less.has_value()) {
+      if (less->lo_is_left && !fwd.has_value()) {
+        fwd = less;
+        consumed[i] = true;
+        continue;
+      }
+      if (!less->lo_is_left && !bwd.has_value()) {
+        bwd = less;
+        consumed[i] = true;
+        continue;
+      }
+    }
+  }
+
+  if (fwd.has_value() && bwd.has_value()) {
+    OverlapSpec spec;
+    spec.left_begin = fwd->lo;
+    spec.left_end = bwd->hi;
+    spec.right_begin = bwd->lo - la;
+    spec.right_end = fwd->hi - la;
+    out.overlap = spec;
+  }
+
+  std::vector<ExprPtr> residual;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    bool keep = !consumed[i];
+    // An unmatched half of an overlap candidate goes back verbatim.
+    if (!out.overlap.has_value() && consumed[i] &&
+        AsCrossLess(conjuncts[i], la).has_value()) {
+      keep = true;
+    }
+    if (keep) residual.push_back(conjuncts[i]);
+  }
+  if (!residual.empty()) out.residual = AndAll(std::move(residual));
+  return out;
+}
+
+}  // namespace periodk

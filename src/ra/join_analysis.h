@@ -1,0 +1,53 @@
+// Build-time structural analysis of join predicates.  REWR's join rule
+// (paper Fig. 4 / Sec. 8) emits `theta' AND b1 < e2 AND b2 < e1` over
+// PERIODENC-encoded inputs; recognizing that shape once, when the plan
+// is built, lets the executor route temporal joins to the sweep-based
+// interval-overlap join instead of re-deriving the predicate structure
+// (or worse, falling back to a nested loop) on every execution.
+#ifndef PERIODK_RA_JOIN_ANALYSIS_H_
+#define PERIODK_RA_JOIN_ANALYSIS_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "engine/expr.h"
+
+namespace periodk {
+
+/// An interval-overlap conjunct `left[left_begin] < right[right_end] AND
+/// right[right_begin] < left[left_end]` recognized inside a join
+/// predicate.  Right-side indices are relative to the right input's
+/// schema.  For plans produced by RewriteJoin these are the trailing
+/// PERIODENC endpoint columns, but any pair of opposing cross-input
+/// strict inequalities forms a valid overlap test.
+struct OverlapSpec {
+  int left_begin = -1;
+  int left_end = -1;
+  int right_begin = -1;
+  int right_end = -1;
+};
+
+/// Decomposition of a join predicate over the concatenated
+/// (left ++ right) schema into the parts the executor can exploit:
+/// hashable equi-key pairs, an interval-overlap conjunct for the sweep
+/// join, and an opaque residual evaluated per candidate pair (nullptr
+/// when nothing remains).
+struct JoinAnalysis {
+  std::vector<std::pair<int, int>> equi_keys;  // (left idx, right-rel idx)
+  std::optional<OverlapSpec> overlap;
+  ExprPtr residual;
+};
+
+/// Splits the top-level conjunction of `predicate`.  Equi-keys are
+/// column-column equalities across the inputs (NULL keys never join);
+/// a pair of strict `<`/`>` column comparisons in opposite directions
+/// across the inputs is lifted into OverlapSpec.  Everything else --
+/// same-side comparisons, non-column operands, further overlap pairs --
+/// lands in the residual, so the decomposition conjoined back together
+/// is equivalent to the original predicate under SQL three-valued logic.
+JoinAnalysis AnalyzeJoinPredicate(const ExprPtr& predicate, size_t left_arity);
+
+}  // namespace periodk
+
+#endif  // PERIODK_RA_JOIN_ANALYSIS_H_

@@ -70,8 +70,16 @@ std::string Plan::ToString(int indent) const {
       out += StrCat(" (", constant->size(), " rows) ", schema.ToString());
       break;
     case PlanKind::kSelect:
+      out += StrCat(" [", predicate->ToString(), "]");
+      break;
     case PlanKind::kJoin:
       out += StrCat(" [", predicate->ToString(), "]");
+      if (join.overlap.has_value()) {
+        out += join.equi_keys.empty() ? " (interval sweep)"
+                                      : " (partitioned interval sweep)";
+      } else if (!join.equi_keys.empty()) {
+        out += " (hash)";
+      }
       break;
     case PlanKind::kProject:
       out += StrCat(
@@ -169,6 +177,7 @@ PlanPtr MakeJoin(PlanPtr left, PlanPtr right, ExprPtr predicate) {
   p->left = std::move(left);
   p->right = std::move(right);
   p->predicate = std::move(predicate);
+  p->join = AnalyzeJoinPredicate(p->predicate, p->left->schema.size());
   return p;
 }
 

@@ -17,6 +17,7 @@
 #include "engine/expr.h"
 #include "engine/relation.h"
 #include "engine/schema.h"
+#include "ra/join_analysis.h"
 #include "temporal/interval.h"
 
 namespace periodk {
@@ -76,6 +77,11 @@ class Plan {
   std::string table;                         // kScan
   std::shared_ptr<const Relation> constant;  // kConstant
   ExprPtr predicate;                         // kSelect, kJoin
+  // kJoin: structural decomposition of `predicate` computed once by
+  // MakeJoin (equi-keys, interval-overlap conjunct, residual); the
+  // executor picks the physical join from this instead of re-deriving
+  // the predicate shape per execution.
+  JoinAnalysis join;
   std::vector<ExprPtr> exprs;                // kProject / kAggregate groups
   std::vector<AggExpr> aggs;                 // kAggregate, kSplitAggregate
   std::vector<int> split_group;    // kSplit / kSplitAggregate: group cols

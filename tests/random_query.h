@@ -101,17 +101,28 @@ class RandomQueryGenerator {
 };
 
 /// Random PERIODENC-encoded tables "r" and "s" for the engine path.
+/// `null_chance` makes each data column independently NULL;
+/// `empty_validity_chance` produces rows whose interval is empty
+/// (begin >= end) -- annotation 0 everywhere, but still visible to raw
+/// multiset operators, so join paths must agree on them.
 inline Catalog RandomEncodedCatalog(Rng* rng, const TimeDomain& domain,
-                                    int max_rows = 12) {
+                                    int max_rows = 12,
+                                    double null_chance = 0.0,
+                                    double empty_validity_chance = 0.0) {
   Catalog catalog;
   for (const char* name : {"r", "s"}) {
     Relation rel(Schema::FromNames({"a", "b", "a_begin", "a_end"}));
     int n = static_cast<int>(rng->Uniform(max_rows));
     for (int i = 0; i < n; ++i) {
       TimePoint b = rng->Range(domain.tmin, domain.tmax - 2);
-      TimePoint e = rng->Range(b + 1, domain.tmax - 1);
-      rel.AddRow({Value::Int(rng->Range(0, 3)), Value::Int(rng->Range(0, 3)),
-                  Value::Int(b), Value::Int(e)});
+      TimePoint e = rng->Chance(empty_validity_chance)
+                        ? rng->Range(domain.tmin, b)
+                        : rng->Range(b + 1, domain.tmax - 1);
+      auto data = [&] {
+        return rng->Chance(null_chance) ? Value::Null()
+                                        : Value::Int(rng->Range(0, 3));
+      };
+      rel.AddRow({data(), data(), Value::Int(b), Value::Int(e)});
     }
     catalog.Put(name, std::move(rel));
   }

@@ -33,13 +33,10 @@ TEST(BinderPlanTest, SingleTablePredicatesPushBelowJoin) {
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   const Plan* join = FindNode(*plan, PlanKind::kJoin);
   ASSERT_NE(join, nullptr);
-  // The join predicate must contain the equi conjunct (hash-joinable)...
-  std::vector<std::pair<int, int>> keys;
-  std::vector<ExprPtr> residual;
-  ExtractEquiKeys(join->predicate, join->left->schema.size(), &keys,
-                  &residual);
-  EXPECT_EQ(keys.size(), 1u);
-  EXPECT_TRUE(residual.empty());
+  // The join predicate must contain the equi conjunct (hash-joinable),
+  // recognized at plan build time...
+  EXPECT_EQ(join->join.equi_keys.size(), 1u);
+  EXPECT_EQ(join->join.residual, nullptr);
   // ...and both single-table filters sit below it.
   ASSERT_NE(FindNode(join->left, PlanKind::kSelect), nullptr);
   ASSERT_NE(FindNode(join->right, PlanKind::kSelect), nullptr);

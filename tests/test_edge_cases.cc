@@ -46,6 +46,48 @@ TEST(EdgeCaseTest, SplitAggregateWholeDomainInterval) {
   EXPECT_EQ(out.rows()[0][2], Value::Int(24));
 }
 
+TEST(EdgeCaseTest, GroupedGapRowsOverEmptyInputEmitNothing) {
+  // Regression: grouped SplitAggregate with gap_rows over an empty
+  // input used to synthesize a groups[Row{}] entry and emit a gap row
+  // *missing the group columns* -- a malformed row narrower than the
+  // schema.  Grouped gaps cover observed groups only; an empty input
+  // observes none.
+  Relation empty(Schema::FromNames({"g", "a_begin", "a_end"}));
+  Relation out = SplitAggregateRelation(
+      empty, {0}, {AggExpr{AggFunc::kCountStar, nullptr, "c"}},
+      /*gap_rows=*/true, TimeDomain{0, 24});
+  EXPECT_EQ(out.size(), 0u);
+  // Rows with empty validity count as unobserved too.
+  Relation degenerate(Schema::FromNames({"g", "a_begin", "a_end"}));
+  degenerate.AddRow({Value::Int(1), Value::Int(5), Value::Int(5)});
+  EXPECT_EQ(SplitAggregateRelation(
+                degenerate, {0}, {AggExpr{AggFunc::kCountStar, nullptr, "c"}},
+                /*gap_rows=*/true, TimeDomain{0, 24})
+                .size(),
+            0u);
+  // The global (ungrouped) gap row over an empty input is still emitted.
+  Relation out_global = SplitAggregateRelation(
+      empty, {}, {AggExpr{AggFunc::kCountStar, nullptr, "c"}},
+      /*gap_rows=*/true, TimeDomain{0, 24});
+  ASSERT_EQ(out_global.size(), 1u);
+  EXPECT_EQ(out_global.rows()[0][0], Value::Int(0));
+  EXPECT_EQ(out_global.rows()[0][1], Value::Int(0));
+  EXPECT_EQ(out_global.rows()[0][2], Value::Int(24));
+}
+
+TEST(EdgeCaseTest, AddRowRejectsArityMismatch) {
+  Relation rel(Schema::FromNames({"a", "b"}));
+  EXPECT_THROW(rel.AddRow({Value::Int(1)}), EngineError);
+  EXPECT_THROW(rel.AddRow({Value::Int(1), Value::Int(2), Value::Int(3)}),
+               EngineError);
+  rel.AddRow({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(rel.size(), 1u);
+  // The bulk constructor applies the same check.
+  EXPECT_THROW(Relation(Schema::FromNames({"a", "b"}),
+                        {{Value::Int(1)}, {Value::Int(1), Value::Int(2)}}),
+               EngineError);
+}
+
 TEST(EdgeCaseTest, SplitBudgetScopeEnforcesLimit) {
   Relation left = EncodedRelation({"g"}, {{{Value::Int(1)}, Interval(0, 20)}});
   Relation right(left.schema());

@@ -113,16 +113,15 @@ TEST(ExprTest, RemapAndCollect) {
   EXPECT_EQ(cols, (std::vector<int>{2, 5, 3}));
 }
 
-TEST(ExprTest, ExtractEquiKeys) {
+TEST(ExprTest, JoinPredicateEquiKeyAnalysis) {
   // Predicate over concat schema with left arity 2: #0 = #2 is an
   // equi-key; #1 > 5 is residual.
   ExprPtr pred = And(Eq(Col(0), Col(2)), Gt(Col(1), LitInt(5)));
-  std::vector<std::pair<int, int>> keys;
-  std::vector<ExprPtr> residual;
-  ExtractEquiKeys(pred, 2, &keys, &residual);
-  ASSERT_EQ(keys.size(), 1u);
-  EXPECT_EQ(keys[0], (std::pair<int, int>{0, 0}));
-  ASSERT_EQ(residual.size(), 1u);
+  JoinAnalysis ja = AnalyzeJoinPredicate(pred, 2);
+  ASSERT_EQ(ja.equi_keys.size(), 1u);
+  EXPECT_EQ(ja.equi_keys[0], (std::pair<int, int>{0, 0}));
+  EXPECT_FALSE(ja.overlap.has_value());
+  ASSERT_NE(ja.residual, nullptr);
 }
 
 // --- Schema resolution. -----------------------------------------------------
