@@ -2,9 +2,20 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 namespace periodk {
 namespace bench {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
 
 double TimeOnce(const std::function<void()>& fn) {
   auto start = std::chrono::steady_clock::now();

@@ -12,6 +12,11 @@
 namespace periodk {
 namespace bench {
 
+/// Scale knobs from the environment (PERIODK_BENCH_*); fallback when
+/// the variable is unset.
+int EnvInt(const char* name, int fallback);
+double EnvDouble(const char* name, double fallback);
+
 /// Wall-clock seconds elapsed while running fn once.
 double TimeOnce(const std::function<void()>& fn);
 

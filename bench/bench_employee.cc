@@ -26,10 +26,6 @@ namespace {
 
 constexpr int64_t kSplitBudget = 30'000'000;
 
-int EnvInt(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v == nullptr ? fallback : std::atoi(v);
-}
 
 /// Runs the query; returns median seconds, or -1 on budget timeout.
 double TimeQuery(const TemporalDB& db, const std::string& sql,
@@ -61,8 +57,8 @@ double TimeQuery(const TemporalDB& db, const std::string& sql,
 
 int main() {
   using namespace periodk;
-  int n_employees = EnvInt("PERIODK_BENCH_EMPLOYEES", 1000);
-  int repeats = EnvInt("PERIODK_BENCH_REPEATS", 3);
+  int n_employees = bench::EnvInt("PERIODK_BENCH_EMPLOYEES", 1000);
+  int repeats = bench::EnvInt("PERIODK_BENCH_REPEATS", 3);
 
   EmployeesConfig config;
   config.num_employees = n_employees;

@@ -19,10 +19,6 @@
 namespace periodk {
 namespace {
 
-int EnvInt(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v == nullptr ? fallback : std::atoi(v);
-}
 
 constexpr TimePoint kDomainEnd = 50000;
 
@@ -67,8 +63,8 @@ ExprPtr OverlapPred() {
 
 int main() {
   using namespace periodk;
-  int rows = EnvInt("PERIODK_BENCH_JOIN_ROWS", 4000);
-  int repeats = EnvInt("PERIODK_BENCH_REPEATS", 3);
+  int rows = bench::EnvInt("PERIODK_BENCH_JOIN_ROWS", 4000);
+  int repeats = bench::EnvInt("PERIODK_BENCH_REPEATS", 3);
 
   bench::PrintBanner(
       "interval-overlap join vs nested-loop fallback",

@@ -16,24 +16,16 @@
 namespace periodk {
 namespace {
 
-int EnvInt(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v == nullptr ? fallback : std::atoi(v);
-}
 
-double EnvDouble(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v == nullptr ? fallback : std::atof(v);
-}
 
 }  // namespace
 }  // namespace periodk
 
 int main() {
   using namespace periodk;
-  int n_employees = EnvInt("PERIODK_BENCH_EMPLOYEES", 1000);
-  double sf_small = EnvDouble("PERIODK_BENCH_SF_SMALL", 0.002);
-  double sf_large = EnvDouble("PERIODK_BENCH_SF_LARGE", 0.02);
+  int n_employees = bench::EnvInt("PERIODK_BENCH_EMPLOYEES", 1000);
+  double sf_small = bench::EnvDouble("PERIODK_BENCH_SF_SMALL", 0.002);
+  double sf_large = bench::EnvDouble("PERIODK_BENCH_SF_LARGE", 0.02);
 
   bench::PrintBanner(
       "Table 2 -- number of query result rows",

@@ -20,15 +20,7 @@ namespace {
 
 constexpr int64_t kSplitBudget = 30'000'000;
 
-double EnvDouble(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v == nullptr ? fallback : std::atof(v);
-}
 
-int EnvInt(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v == nullptr ? fallback : std::atoi(v);
-}
 
 double TimeQuery(const TemporalDB& db, const std::string& sql,
                  const RewriteOptions& options, bool final_coalesce,
@@ -86,9 +78,9 @@ void RunScale(double sf, int repeats) {
 
 int main() {
   using namespace periodk;
-  double sf_small = EnvDouble("PERIODK_BENCH_SF_SMALL", 0.002);
-  double sf_large = EnvDouble("PERIODK_BENCH_SF_LARGE", 0.02);
-  int repeats = EnvInt("PERIODK_BENCH_REPEATS", 3);
+  double sf_small = bench::EnvDouble("PERIODK_BENCH_SF_SMALL", 0.002);
+  double sf_large = bench::EnvDouble("PERIODK_BENCH_SF_LARGE", 0.02);
+  int repeats = bench::EnvInt("PERIODK_BENCH_REPEATS", 3);
   bench::PrintBanner(
       "Table 3 (bottom) -- TPC-H under snapshot semantics (TPC-BiH)",
       "Seconds, median of " + std::to_string(repeats) +

@@ -35,7 +35,7 @@ namespace {
 // intermediate is uniquely owned.  Operators that only read take a
 // const reference; operators that want to consume their input call
 // Materialize, which moves from a uniquely-owned intermediate and
-// copies only when the input is borrowed.
+// copies only when the input is borrowed or still shared.
 using RelHandle = std::shared_ptr<const Relation>;
 
 RelHandle Borrow(const Relation& relation) {
@@ -45,14 +45,12 @@ RelHandle Borrow(const Relation& relation) {
   return RelHandle(RelHandle(), &relation);
 }
 
-RelHandle Own(Relation relation) {
-  return std::make_shared<Relation>(std::move(relation));
-}
-
 Relation Materialize(RelHandle h) {
   if (h.use_count() == 1) {
-    // Sole owner of a computed intermediate (created via Own above, so
-    // the underlying object is non-const): steal it.
+    // Sole owner of a computed intermediate (created via Own below, so
+    // the underlying object is non-const): steal it.  A memoized handle
+    // reaches use_count 1 only after its last consumer claimed it, so
+    // the steal never races an outstanding reader.
     return std::move(*std::const_pointer_cast<Relation>(h));
   }
   return *h;
@@ -238,67 +236,138 @@ Relation ExecSort(const Plan& plan, Relation input) {
   return Relation(plan.schema, std::move(input.mutable_rows()));
 }
 
-RelHandle ExecuteNode(const PlanPtr& plan, const Catalog& catalog) {
-  switch (plan->kind) {
-    case PlanKind::kScan:
-      return Borrow(catalog.Get(plan->table));
-    case PlanKind::kConstant:
-      return plan->constant;
-    case PlanKind::kSelect:
-      return Own(ExecSelect(*plan, ExecuteNode(plan->left, catalog)));
-    case PlanKind::kProject:
-      return Own(ExecProject(*plan, *ExecuteNode(plan->left, catalog)));
-    case PlanKind::kJoin: {
-      RelHandle l = ExecuteNode(plan->left, catalog);
-      RelHandle r = ExecuteNode(plan->right, catalog);
-      return Own(ExecJoin(*plan, *l, *r));
-    }
-    case PlanKind::kUnionAll: {
-      RelHandle l = ExecuteNode(plan->left, catalog);
-      RelHandle r = ExecuteNode(plan->right, catalog);
-      return Own(ExecUnionAll(*plan, Materialize(std::move(l)), *r));
-    }
-    case PlanKind::kExceptAll: {
-      RelHandle l = ExecuteNode(plan->left, catalog);
-      RelHandle r = ExecuteNode(plan->right, catalog);
-      return Own(ExecExceptAll(*plan, Materialize(std::move(l)), *r));
-    }
-    case PlanKind::kAntiJoin: {
-      RelHandle l = ExecuteNode(plan->left, catalog);
-      RelHandle r = ExecuteNode(plan->right, catalog);
-      return Own(ExecAntiJoin(*plan, Materialize(std::move(l)), *r));
-    }
-    case PlanKind::kAggregate:
-      return Own(ExecAggregate(*plan, *ExecuteNode(plan->left, catalog)));
-    case PlanKind::kDistinct:
-      return Own(ExecDistinct(
-          *plan, Materialize(ExecuteNode(plan->left, catalog))));
-    case PlanKind::kSort:
-      return Own(
-          ExecSort(*plan, Materialize(ExecuteNode(plan->left, catalog))));
-    case PlanKind::kCoalesce:
-      return Own(CoalesceRelation(*ExecuteNode(plan->left, catalog),
-                                  plan->coalesce_impl));
-    case PlanKind::kSplit: {
-      RelHandle l = ExecuteNode(plan->left, catalog);
-      RelHandle r = ExecuteNode(plan->right, catalog);
-      return Own(SplitRelation(*l, *r, plan->split_group));
-    }
-    case PlanKind::kSplitAggregate:
-      return Own(SplitAggregateRelation(
-          *ExecuteNode(plan->left, catalog), plan->split_group, plan->aggs,
-          plan->gap_rows, plan->domain, plan->pre_aggregate));
-    case PlanKind::kTimeslice:
-      return Own(TimesliceEncoded(*ExecuteNode(plan->left, catalog),
-                                  plan->slice_time));
+// One plan execution.  Plans are DAGs (REWR shares subplans), so the
+// context pre-counts how many consumers each node has and memoizes the
+// handle of every shared node: the node executes once, later consumers
+// hit the memo.  The entry is dropped when its last consumer claims the
+// handle, at which point that consumer may be the sole owner again and
+// Materialize's move optimization applies — copy-on-consume happens
+// only while use_count proves other consumers remain.
+class ExecutionContext {
+ public:
+  ExecutionContext(const Catalog& catalog, ExecStats* stats, bool memoize)
+      : catalog_(catalog), stats_(stats), memoize_(memoize) {}
+
+  RelHandle Run(const PlanPtr& plan) {
+    if (memoize_) CountConsumers(plan);
+    return ExecuteNode(plan);
   }
-  throw EngineError("unknown plan kind");
-}
+
+ private:
+  void CountConsumers(const PlanPtr& plan) {
+    if (plan == nullptr) return;
+    // Children are counted only on the node's first visit: under
+    // memoization a shared parent executes once, so it requests each
+    // child once regardless of how many parents it has itself.
+    if (++consumers_left_[plan.get()] > 1) return;
+    CountConsumers(plan->left);
+    CountConsumers(plan->right);
+  }
+
+  RelHandle ExecuteNode(const PlanPtr& plan) {
+    if (!memoize_) return Compute(plan);
+    int& left = consumers_left_.at(plan.get());
+    auto it = memo_.find(plan.get());
+    if (it != memo_.end()) {
+      if (stats_ != nullptr) ++stats_->memo_hits;
+      RelHandle h = it->second;
+      // The last consumer drops the memo entry; its handle may then be
+      // uniquely owned again, re-enabling Materialize's move.
+      if (--left == 0) memo_.erase(it);
+      return h;
+    }
+    if (left <= 1) return Compute(plan);  // sole consumer: no memo entry
+    RelHandle h = Compute(plan);
+    memo_.emplace(plan.get(), h);
+    --left;
+    return h;
+  }
+
+  /// Wraps a freshly computed intermediate in a uniquely-owned handle.
+  RelHandle Own(Relation relation) {
+    if (stats_ != nullptr) {
+      stats_->rows_materialized += static_cast<int64_t>(relation.size());
+    }
+    return std::make_shared<Relation>(std::move(relation));
+  }
+
+  RelHandle Compute(const PlanPtr& plan) {
+    if (stats_ != nullptr) ++stats_->nodes_executed;
+    switch (plan->kind) {
+      case PlanKind::kScan:
+        return Borrow(catalog_.Get(plan->table));
+      case PlanKind::kConstant:
+        return plan->constant;
+      case PlanKind::kSelect:
+        return Own(ExecSelect(*plan, ExecuteNode(plan->left)));
+      case PlanKind::kProject:
+        return Own(ExecProject(*plan, *ExecuteNode(plan->left)));
+      case PlanKind::kJoin: {
+        RelHandle l = ExecuteNode(plan->left);
+        RelHandle r = ExecuteNode(plan->right);
+        return Own(ExecJoin(*plan, *l, *r));
+      }
+      case PlanKind::kUnionAll: {
+        RelHandle l = ExecuteNode(plan->left);
+        RelHandle r = ExecuteNode(plan->right);
+        return Own(ExecUnionAll(*plan, Materialize(std::move(l)), *r));
+      }
+      case PlanKind::kExceptAll: {
+        RelHandle l = ExecuteNode(plan->left);
+        RelHandle r = ExecuteNode(plan->right);
+        return Own(ExecExceptAll(*plan, Materialize(std::move(l)), *r));
+      }
+      case PlanKind::kAntiJoin: {
+        RelHandle l = ExecuteNode(plan->left);
+        RelHandle r = ExecuteNode(plan->right);
+        return Own(ExecAntiJoin(*plan, Materialize(std::move(l)), *r));
+      }
+      case PlanKind::kAggregate:
+        return Own(ExecAggregate(*plan, *ExecuteNode(plan->left)));
+      case PlanKind::kDistinct:
+        return Own(ExecDistinct(*plan, Materialize(ExecuteNode(plan->left))));
+      case PlanKind::kSort:
+        return Own(ExecSort(*plan, Materialize(ExecuteNode(plan->left))));
+      case PlanKind::kCoalesce:
+        return Own(
+            CoalesceRelation(*ExecuteNode(plan->left), plan->coalesce_impl));
+      case PlanKind::kSplit: {
+        RelHandle l = ExecuteNode(plan->left);
+        RelHandle r = ExecuteNode(plan->right);
+        return Own(SplitRelation(*l, *r, plan->split_group));
+      }
+      case PlanKind::kSplitAggregate:
+        return Own(SplitAggregateRelation(
+            *ExecuteNode(plan->left), plan->split_group, plan->aggs,
+            plan->gap_rows, plan->domain, plan->pre_aggregate));
+      case PlanKind::kTimeslice:
+        return Own(TimesliceEncoded(*ExecuteNode(plan->left),
+                                    plan->slice_time));
+    }
+    throw EngineError("unknown plan kind");
+  }
+
+  const Catalog& catalog_;
+  ExecStats* stats_;
+  bool memoize_;
+  // Requests not yet served per node; nodes starting > 1 are shared.
+  std::unordered_map<const Plan*, int> consumers_left_;
+  // Results of shared nodes awaiting their remaining consumers.
+  std::unordered_map<const Plan*, RelHandle> memo_;
+};
 
 }  // namespace
 
-Relation Execute(const PlanPtr& plan, const Catalog& catalog) {
-  return Materialize(ExecuteNode(plan, catalog));
+std::string ExecStats::ToString() const {
+  return StrCat("nodes executed: ", nodes_executed,
+                ", memo hits: ", memo_hits,
+                ", rows materialized: ", rows_materialized);
+}
+
+Relation Execute(const PlanPtr& plan, const Catalog& catalog,
+                 ExecStats* stats, bool memoize) {
+  ExecutionContext context(catalog, stats, memoize);
+  return Materialize(context.Run(plan));
 }
 
 }  // namespace periodk

@@ -6,9 +6,17 @@
 // predicate analysis (ra/join_analysis.h): the sweep-based interval
 // join when an overlap conjunct was recognized, a hash join on plain
 // equi-keys, and a nested loop only for genuinely opaque predicates.
+//
+// Plans are DAGs, not trees: REWR shares subplans (snapshot DISTINCT
+// splits a query against itself, snapshot difference references each
+// rewritten input twice), so execution memoizes per run — a subplan
+// reachable through several parents executes exactly once and later
+// consumers reuse the materialized handle (copying only when other
+// consumers still need it; the last consumer may steal).
 #ifndef PERIODK_ENGINE_EXECUTOR_H_
 #define PERIODK_ENGINE_EXECUTOR_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -36,9 +44,27 @@ class Catalog {
   std::map<std::string, Relation> tables_;
 };
 
+/// Per-execution counters, for tests and EXPLAIN ANALYZE-style output.
+struct ExecStats {
+  /// Operator evaluations actually performed (one per *unique* reachable
+  /// plan node when memoization is on; one per tree-expanded node off).
+  int64_t nodes_executed = 0;
+  /// Node requests answered from the memo instead of re-executing.
+  int64_t memo_hits = 0;
+  /// Rows written into freshly materialized operator outputs (borrowed
+  /// scan/constant handles do not count).
+  int64_t rows_materialized = 0;
+
+  std::string ToString() const;
+};
+
 /// Executes a logical plan against the catalog; throws EngineError on
-/// invariant violations (e.g. unknown table).
-Relation Execute(const PlanPtr& plan, const Catalog& catalog);
+/// invariant violations (e.g. unknown table).  `stats`, when non-null,
+/// receives the run's counters.  `memoize` = false disables shared-
+/// subplan reuse (reference semantics for tests and ablation: the plan
+/// DAG is executed as its full tree expansion).
+Relation Execute(const PlanPtr& plan, const Catalog& catalog,
+                 ExecStats* stats = nullptr, bool memoize = true);
 
 }  // namespace periodk
 

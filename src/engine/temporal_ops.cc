@@ -391,6 +391,14 @@ Relation SplitAggregateRelation(const Relation& input,
     TimePoint prev = domain.tmin;
     bool have_prev = gap_rows;
     auto emit = [&](TimePoint from, TimePoint to) {
+      if (gap_rows) {
+        // Gap rows declare the result complete over [tmin, tmax); input
+        // intervals may exceed the domain, so fragments are clamped to
+        // it — otherwise the output would claim validity at time points
+        // the domain does not contain.
+        from = std::max(from, domain.tmin);
+        to = std::min(to, domain.tmax);
+      }
       if (from >= to) return;
       Row row = group;
       for (size_t i = 0; i < aggs.size(); ++i) {

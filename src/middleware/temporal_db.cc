@@ -6,12 +6,39 @@
 
 namespace periodk {
 
+namespace {
+
+/// Plan-cache capacity; on overflow the cache restarts empty (a serving
+/// workload inlining distinct literals must not grow memory forever).
+constexpr size_t kPlanCacheMaxEntries = 1024;
+
+/// Cache key for a (SQL text, rewrite options) pair.  Every option that
+/// changes the produced plan is part of the key, so plans cached under
+/// different options never alias.
+std::string PlanCacheKey(const std::string& sql,
+                         const RewriteOptions& options) {
+  return StrCat(static_cast<int>(options.semantics),
+                static_cast<int>(options.hoist_coalesce),
+                static_cast<int>(options.fuse_aggregation),
+                static_cast<int>(options.pre_aggregate),
+                static_cast<int>(options.final_coalesce),
+                static_cast<int>(options.coalesce_impl), "|", sql);
+}
+
+}  // namespace
+
+std::string PlanCacheStats::ToString() const {
+  return StrCat("plan cache: ", hits, " hits, ", misses, " misses, ",
+                invalidations, " invalidations, ", entries, " entries");
+}
+
 Status TemporalDB::CreateTable(const std::string& name,
                                const std::vector<std::string>& columns) {
   if (catalog_.Has(name)) {
     return Status::AlreadyExists(StrCat("table exists: ", name));
   }
   catalog_.Put(name, Relation(Schema::FromNames(columns)));
+  InvalidatePlanCache();
   return Status::OK();
 }
 
@@ -19,6 +46,11 @@ Status TemporalDB::CreatePeriodTable(const std::string& name,
                                      const std::vector<std::string>& columns,
                                      const std::string& begin_column,
                                      const std::string& end_column) {
+  if (begin_column == end_column) {
+    return Status::InvalidArgument(
+        StrCat("period begin and end must be distinct columns, got (",
+               begin_column, ", ", end_column, ")"));
+  }
   Schema schema = Schema::FromNames(columns);
   if (schema.Find("", begin_column) < 0 || schema.Find("", end_column) < 0) {
     return Status::InvalidArgument(
@@ -34,6 +66,11 @@ Status TemporalDB::CreatePeriodTable(const std::string& name,
 Status TemporalDB::PutPeriodTable(const std::string& name, Relation relation,
                                   const std::string& begin_column,
                                   const std::string& end_column) {
+  if (begin_column == end_column) {
+    return Status::InvalidArgument(
+        StrCat("period begin and end must be distinct columns, got (",
+               begin_column, ", ", end_column, ")"));
+  }
   if (relation.schema().Find("", begin_column) < 0 ||
       relation.schema().Find("", end_column) < 0) {
     return Status::InvalidArgument(
@@ -42,6 +79,7 @@ Status TemporalDB::PutPeriodTable(const std::string& name, Relation relation,
   }
   catalog_.Put(name, std::move(relation));
   period_tables_[name] = sql::PeriodTableInfo{begin_column, end_column};
+  InvalidatePlanCache();
   return Status::OK();
 }
 
@@ -56,16 +94,50 @@ Status TemporalDB::Insert(const std::string& table, Row row) {
                " values, expected ", relation->schema().size()));
   }
   relation->AddRow(std::move(row));
+  InvalidatePlanCache();
   return Status::OK();
 }
 
 Status TemporalDB::InsertRows(const std::string& table,
                               std::vector<Row> rows) {
-  for (Row& row : rows) {
-    Status status = Insert(table, std::move(row));
-    if (!status.ok()) return status;
+  Relation* relation = catalog_.GetMutable(table);
+  if (relation == nullptr) {
+    return Status::NotFound(StrCat("unknown table: ", table));
   }
+  // Validate every arity before any row lands: a bulk insert is atomic,
+  // so a mid-batch mismatch must not leave the table half-populated.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != relation->schema().size()) {
+      return Status::InvalidArgument(StrCat(
+          "arity mismatch inserting into ", table, " at row ", i, ": got ",
+          rows[i].size(), " values, expected ", relation->schema().size()));
+    }
+  }
+  if (rows.empty()) return Status::OK();
+  relation->Reserve(relation->size() + rows.size());
+  for (Row& row : rows) relation->AddRow(std::move(row));
+  InvalidatePlanCache();
   return Status::OK();
+}
+
+void TemporalDB::InvalidatePlanCache() {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  if (plan_cache_.empty()) return;
+  plan_cache_.clear();
+  ++cache_stats_.invalidations;
+}
+
+PlanCacheStats TemporalDB::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  PlanCacheStats stats = cache_stats_;
+  stats.entries = static_cast<int64_t>(plan_cache_.size());
+  return stats;
+}
+
+void TemporalDB::set_plan_cache_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  plan_cache_enabled_ = enabled;
+  if (!enabled) plan_cache_.clear();
 }
 
 Result<sql::BoundStatement> TemporalDB::BindSql(const std::string& sql) const {
@@ -111,15 +183,61 @@ Result<PlanPtr> TemporalDB::Plan(const std::string& sql) const {
 
 Result<PlanPtr> TemporalDB::Plan(const std::string& sql,
                                  const RewriteOptions& options) const {
+  const std::string key = PlanCacheKey(sql, options);
+  bool use_cache;
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    use_cache = plan_cache_enabled_;
+    if (use_cache) {
+      auto it = plan_cache_.find(key);
+      if (it != plan_cache_.end()) {
+        ++cache_stats_.hits;
+        return it->second;
+      }
+      ++cache_stats_.misses;
+    }
+  }
+  // Parse/bind/rewrite outside the lock: planning is the expensive part
+  // and touches no cache state.
   Result<sql::BoundStatement> bound = BindSql(sql);
   if (!bound.ok()) return bound.status();
-  return PlanBound(*bound, options);
+  Result<PlanPtr> plan = PlanBound(*bound, options);
+  // Failed statements are not cached: they carry no plan to reuse and
+  // an error may be transient (e.g. a table created later).
+  if (use_cache && plan.ok()) {
+    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    if (plan_cache_.size() >= kPlanCacheMaxEntries) plan_cache_.clear();
+    plan_cache_.emplace(key, *plan);
+  }
+  return plan;
+}
+
+Result<PlanPtr> TemporalDB::Prepare(const std::string& sql) const {
+  return Prepare(sql, options_);
+}
+
+Result<PlanPtr> TemporalDB::Prepare(const std::string& sql,
+                                    const RewriteOptions& options) const {
+  return Plan(sql, options);
 }
 
 Result<std::string> TemporalDB::Explain(const std::string& sql) const {
   Result<PlanPtr> plan = Plan(sql, options_);
   if (!plan.ok()) return plan.status();
   return (*plan)->ToString();
+}
+
+Result<std::string> TemporalDB::ExplainAnalyze(const std::string& sql) const {
+  Result<PlanPtr> plan = Plan(sql, options_);
+  if (!plan.ok()) return plan.status();
+  try {
+    ExecStats stats;
+    Relation result = Execute(*plan, catalog_, &stats);
+    return StrCat((*plan)->ToString(), stats.ToString(), "\n",
+                  result.size(), " result rows\n");
+  } catch (const EngineError& error) {
+    return Status::Internal(error.what());
+  }
 }
 
 Result<Relation> TemporalDB::Query(const std::string& sql) const {

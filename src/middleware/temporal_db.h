@@ -10,11 +10,21 @@
 //   db.Insert("works", {...});
 //   auto result = db.Query(
 //       "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')");
+//
+// Serving path: executable plans are cached per (SQL text, rewrite
+// options), so a repeated Query() skips parse/bind/rewrite entirely.
+// Any catalog mutation (CreateTable / CreatePeriodTable / PutPeriodTable
+// / Insert / InsertRows) flushes the cache — plans can embed catalog
+// state (schemas, encoded-scan reorderings), so staleness is resolved
+// with whole-cache invalidation rather than per-table tracking.
 #ifndef PERIODK_MIDDLEWARE_TEMPORAL_DB_H_
 #define PERIODK_MIDDLEWARE_TEMPORAL_DB_H_
 
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -24,10 +34,33 @@
 
 namespace periodk {
 
+/// Counters of the middleware plan cache.
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;        // lookups that had to plan (or failed to)
+  int64_t invalidations = 0; // cache flushes triggered by mutations
+  int64_t entries = 0;       // currently cached plans
+
+  std::string ToString() const;
+};
+
 class TemporalDB {
  public:
   explicit TemporalDB(TimeDomain domain, RewriteOptions options = {})
       : domain_(domain), options_(options) {}
+
+  /// Movable (the destination gets a fresh cache mutex); not copyable.
+  /// As with any mutex-holding type, moving while another thread uses
+  /// `other` is undefined.
+  TemporalDB(TemporalDB&& other) noexcept
+      : domain_(other.domain_),
+        options_(other.options_),
+        catalog_(std::move(other.catalog_)),
+        period_tables_(std::move(other.period_tables_)),
+        plan_cache_enabled_(other.plan_cache_enabled_),
+        plan_cache_(std::move(other.plan_cache_)),
+        cache_stats_(other.cache_stats_) {}
+  TemporalDB& operator=(TemporalDB&&) = delete;
 
   const TimeDomain& domain() const { return domain_; }
   const RewriteOptions& options() const { return options_; }
@@ -37,8 +70,9 @@ class TemporalDB {
   Status CreateTable(const std::string& name,
                      const std::vector<std::string>& columns);
 
-  /// Creates a period table; `begin_column` / `end_column` must be among
-  /// `columns` and hold integer time points within the domain.
+  /// Creates a period table; `begin_column` / `end_column` must be two
+  /// distinct members of `columns` holding integer time points within
+  /// the domain.
   Status CreatePeriodTable(const std::string& name,
                            const std::vector<std::string>& columns,
                            const std::string& begin_column,
@@ -50,9 +84,12 @@ class TemporalDB {
                         const std::string& end_column);
 
   Status Insert(const std::string& table, Row row);
+  /// Bulk insert; atomic: every row's arity is validated before any row
+  /// lands, so a failure leaves the table untouched.
   Status InsertRows(const std::string& table, std::vector<Row> rows);
 
   /// Parses, binds, (for SEQ VT queries) rewrites, and executes.
+  /// Planning is served from the plan cache when possible.
   Result<Relation> Query(const std::string& sql) const;
   Result<Relation> Query(const std::string& sql,
                          const RewriteOptions& options) const;
@@ -62,8 +99,20 @@ class TemporalDB {
   Result<PlanPtr> Plan(const std::string& sql,
                        const RewriteOptions& options) const;
 
-  /// EXPLAIN: the executable plan rendered as an indented tree.
+  /// Plans the statement and warms the plan cache (no execution);
+  /// subsequent Query() calls with the same text and options are cache
+  /// hits until the next catalog mutation.
+  Result<PlanPtr> Prepare(const std::string& sql) const;
+  Result<PlanPtr> Prepare(const std::string& sql,
+                          const RewriteOptions& options) const;
+
+  /// EXPLAIN: the executable plan rendered as an indented tree; shared
+  /// subplans are printed once and tagged `[shared #n]`.
   Result<std::string> Explain(const std::string& sql) const;
+
+  /// EXPLAIN ANALYZE: executes the statement and appends the engine's
+  /// execution counters (nodes executed, memo hits, rows materialized).
+  Result<std::string> ExplainAnalyze(const std::string& sql) const;
 
   /// tau_T of a period table: its snapshot at time t.
   Result<Relation> Timeslice(const std::string& table, TimePoint t) const;
@@ -73,15 +122,35 @@ class TemporalDB {
     return period_tables_.count(name) > 0;
   }
 
+  /// Plan-cache observability and control.  Disabling the cache (for
+  /// ablation/benchmarks) also stops it from filling.
+  PlanCacheStats plan_cache_stats() const;
+  void set_plan_cache_enabled(bool enabled);
+
  private:
   Result<sql::BoundStatement> BindSql(const std::string& sql) const;
   Result<PlanPtr> PlanBound(const sql::BoundStatement& bound,
                             const RewriteOptions& options) const;
+  /// Flushes cached plans after a successful catalog mutation.
+  void InvalidatePlanCache();
 
   TimeDomain domain_;
   RewriteOptions options_;
   Catalog catalog_;
   std::map<std::string, sql::PeriodTableInfo> period_tables_;
+
+  // Bound-plan cache, keyed by (SQL text, rewrite options).  Mutable:
+  // Query()/Plan() are logically const; the cache is an optimization.
+  // All cache state is guarded by plan_cache_mu_ so concurrent reads
+  // (Query/Plan/Prepare on a shared const TemporalDB) stay safe; the
+  // catalog itself is NOT synchronized — reads concurrent with catalog
+  // mutations need external locking.  The cache is bounded (it restarts
+  // empty on overflow), so unboundedly many distinct statements cannot
+  // grow memory forever.
+  mutable std::mutex plan_cache_mu_;
+  bool plan_cache_enabled_ = true;
+  mutable std::unordered_map<std::string, PlanPtr> plan_cache_;
+  mutable PlanCacheStats cache_stats_;
 };
 
 }  // namespace periodk

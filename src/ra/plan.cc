@@ -1,5 +1,7 @@
 #include "ra/plan.h"
 
+#include <unordered_map>
+
 #include "common/status.h"
 #include "common/str_util.h"
 
@@ -57,11 +59,21 @@ void RequireSameArity(const PlanPtr& l, const PlanPtr& r, const char* op) {
   }
 }
 
+/// How often each node is referenced in the DAG; children are counted
+/// once per unique parent (matching the executor's consumer counting).
+void CountRefs(const Plan* plan,
+               std::unordered_map<const Plan*, int>& refs) {
+  if (plan == nullptr) return;
+  if (++refs[plan] > 1) return;
+  CountRefs(plan->left.get(), refs);
+  CountRefs(plan->right.get(), refs);
+}
+
 }  // namespace
 
-std::string Plan::ToString(int indent) const {
-  std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  std::string out = pad + PlanKindName(kind);
+/// One-line description of this node (no padding, newline or children).
+std::string Plan::NodeLine() const {
+  std::string out = PlanKindName(kind);
   switch (kind) {
     case PlanKind::kScan:
       out += StrCat(" ", table, " ", schema.ToString());
@@ -121,9 +133,39 @@ std::string Plan::ToString(int indent) const {
     default:
       break;
   }
-  out += "\n";
-  if (left != nullptr) out += left->ToString(indent + 1);
-  if (right != nullptr) out += right->ToString(indent + 1);
+  return out;
+}
+
+void Plan::AppendTo(int indent,
+                    const std::unordered_map<const Plan*, int>& refs,
+                    std::unordered_map<const Plan*, int>& ids,
+                    std::string& out) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  if (refs.at(this) > 1) {
+    // Shared node: the first visit prints the full subtree tagged with a
+    // DAG id; later visits print only a back reference, so EXPLAIN shows
+    // the plan's real shape instead of silently expanding it to a tree.
+    auto [it, inserted] =
+        ids.try_emplace(this, static_cast<int>(ids.size()) + 1);
+    if (!inserted) {
+      out += StrCat(pad, PlanKindName(kind), " [shared #", it->second,
+                    ", see above]\n");
+      return;
+    }
+    out += StrCat(pad, NodeLine(), " [shared #", it->second, "]\n");
+  } else {
+    out += pad + NodeLine() + "\n";
+  }
+  if (left != nullptr) left->AppendTo(indent + 1, refs, ids, out);
+  if (right != nullptr) right->AppendTo(indent + 1, refs, ids, out);
+}
+
+std::string Plan::ToString(int indent) const {
+  std::unordered_map<const Plan*, int> refs;
+  CountRefs(this, refs);
+  std::unordered_map<const Plan*, int> ids;
+  std::string out;
+  AppendTo(indent, refs, ids, out);
   return out;
 }
 

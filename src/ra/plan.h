@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/agg.h"
@@ -98,8 +99,16 @@ class Plan {
   // endpoint sweep (paper Sec. 9 optimization); false = ablation mode.
   bool pre_aggregate = true;
 
-  /// Pretty tree rendering for debugging / EXPLAIN.
+  /// Pretty rendering for debugging / EXPLAIN.  Plans are DAGs (the
+  /// rewriter shares subplans); nodes with several parents are printed
+  /// once, tagged `[shared #n]`, and referenced on later visits.
   std::string ToString(int indent = 0) const;
+
+ private:
+  std::string NodeLine() const;
+  void AppendTo(int indent, const std::unordered_map<const Plan*, int>& refs,
+                std::unordered_map<const Plan*, int>& ids,
+                std::string& out) const;
 };
 
 // --- Builders (compute output schemas, validate arities). ------------------

@@ -236,6 +236,116 @@ TEST(MiddlewareTest, ErrorDiagnostics) {
             StatusCode::kAlreadyExists);
 }
 
+TEST(MiddlewareTest, InsertRowsIsAtomicOnArityMismatch) {
+  TemporalDB db(kExampleDomain);
+  ASSERT_TRUE(db.CreateTable("t", {"a", "b"}).ok());
+  // Row 1 is too narrow: nothing may land, not even row 0.
+  std::vector<Row> rows = {{Value::Int(1), Value::Int(2)},
+                           {Value::Int(3)},
+                           {Value::Int(4), Value::Int(5)}};
+  Status status = db.InsertRows("t", std::move(rows));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.catalog().Get("t").size(), 0u);
+  // A clean batch still lands in full.
+  ASSERT_TRUE(db.InsertRows("t", {{Value::Int(1), Value::Int(2)},
+                                  {Value::Int(3), Value::Int(4)}})
+                  .ok());
+  EXPECT_EQ(db.catalog().Get("t").size(), 2u);
+  EXPECT_EQ(db.InsertRows("nope", {{Value::Int(1)}}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MiddlewareTest, PeriodTableRejectsIdenticalBeginAndEnd) {
+  TemporalDB db(kExampleDomain);
+  EXPECT_EQ(db.CreatePeriodTable("t", {"x", "ts"}, "ts", "ts").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(db.catalog().Has("t"));
+  Relation rel(Schema::FromNames({"x", "ts"}));
+  EXPECT_EQ(db.PutPeriodTable("u", std::move(rel), "ts", "ts").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(db.catalog().Has("u"));
+}
+
+TEST(MiddlewareTest, PlanCacheServesRepeatedQueries) {
+  TemporalDB db = MakeExampleDB();
+  const char* sql =
+      "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')";
+  PlanCacheStats before = db.plan_cache_stats();
+  auto prepared = db.Prepare(sql);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto first = db.Query(sql);
+  ASSERT_TRUE(first.ok());
+  auto second = db.Query(sql);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(first->BagEquals(*second));
+  PlanCacheStats after = db.plan_cache_stats();
+  // Prepare planned once; both queries were served from the cache.
+  EXPECT_EQ(after.misses - before.misses, 1);
+  EXPECT_EQ(after.hits - before.hits, 2);
+  EXPECT_EQ(after.entries, 1);
+}
+
+TEST(MiddlewareTest, PlanCacheInvalidatedByMutations) {
+  TemporalDB db = MakeExampleDB();
+  const char* sql = "SEQ VT (SELECT skill FROM works)";
+  ASSERT_TRUE(db.Prepare(sql).ok());
+  ASSERT_EQ(db.plan_cache_stats().entries, 1);
+  int64_t flushes = db.plan_cache_stats().invalidations;
+  // Insert flushes the cache, and the next query sees the new row.
+  ASSERT_TRUE(db.Insert("works", {Value::Int(20), Value::String("Zoe"),
+                                  Value::String("SP"), Value::Int(22)})
+                  .ok());
+  PlanCacheStats after = db.plan_cache_stats();
+  EXPECT_EQ(after.entries, 0);
+  EXPECT_EQ(after.invalidations, flushes + 1);
+  auto result = db.Query(sql);
+  ASSERT_TRUE(result.ok());
+  // Coalescing may merge the new [20, 22) interval with an adjacent
+  // one; it must be covered by some SP row.
+  bool found = false;
+  for (const Row& row : result->rows()) {
+    if (row[0] == Value::String("SP") && row[1].AsInt() <= 20 &&
+        row[2].AsInt() >= 22) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << result->ToString();
+  // CreateTable also invalidates.
+  ASSERT_TRUE(db.Prepare(sql).ok());
+  ASSERT_TRUE(db.CreateTable("other", {"x"}).ok());
+  EXPECT_EQ(db.plan_cache_stats().entries, 0);
+}
+
+TEST(MiddlewareTest, PlanCacheKeyedByRewriteOptions) {
+  TemporalDB db = MakeExampleDB();
+  const char* sql = "SEQ VT (SELECT skill FROM assign EXCEPT ALL "
+                    "SELECT skill FROM works)";
+  auto ours = db.Query(sql);
+  ASSERT_TRUE(ours.ok());
+  RewriteOptions alignment;
+  alignment.semantics = SnapshotSemantics::kAlignment;
+  auto theirs = db.Query(sql, alignment);
+  ASSERT_TRUE(theirs.ok());
+  // Same SQL under different options is a different cache entry — the
+  // alignment baseline's (buggy) set-semantics result must not be
+  // served from the period-K plan or vice versa.
+  EXPECT_EQ(db.plan_cache_stats().entries, 2);
+  EXPECT_FALSE(ours->BagEquals(*theirs));
+}
+
+TEST(MiddlewareTest, PlanCacheCanBeDisabled) {
+  TemporalDB db = MakeExampleDB();
+  db.set_plan_cache_enabled(false);
+  const char* sql = "SEQ VT (SELECT skill FROM works)";
+  auto first = db.Query(sql);
+  ASSERT_TRUE(first.ok());
+  auto second = db.Query(sql);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(first->BagEquals(*second));
+  EXPECT_EQ(db.plan_cache_stats().entries, 0);
+  EXPECT_EQ(db.plan_cache_stats().hits, 0);
+}
+
 TEST(MiddlewareTest, AggregateExpressionOverAggregates) {
   // Arithmetic over aggregate results (needed by TPC-H Q8/Q14).
   TemporalDB db = MakeExampleDB();

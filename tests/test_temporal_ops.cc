@@ -186,6 +186,58 @@ TEST(SplitAggregateTest, EmptyInputStillCoversDomainWithGaps) {
   EXPECT_EQ(out.rows()[0][3], Value::Int(10));
 }
 
+TEST(SplitAggregateTest, GapRowsClampedToDomain) {
+  // Input intervals exceeding [tmin, tmax) must not produce fragments
+  // outside the declared domain (regression: the gap sweep used to emit
+  // them verbatim).
+  TimeDomain domain{0, 24};
+  std::vector<AggExpr> aggs = {AggExpr{AggFunc::kCountStar, nullptr, "cnt"}};
+  auto run = [&](std::vector<std::pair<TimePoint, TimePoint>> intervals) {
+    Relation in(Schema::FromNames({"v", "a_begin", "a_end"}));
+    for (auto [b, e] : intervals) {
+      in.AddRow({Value::Int(1), Value::Int(b), Value::Int(e)});
+    }
+    return SplitAggregateRelation(in, {}, aggs, /*gap_rows=*/true, domain);
+  };
+  // Straddles the lower bound.
+  Relation below = run({{-5, 10}});
+  Relation expect_below =
+      EncodedRelation({"cnt"}, {{{Value::Int(1)}, Interval(0, 10)},
+                                {{Value::Int(0)}, Interval(10, 24)}});
+  EXPECT_TRUE(below.BagEquals(expect_below)) << below.ToString();
+  // Straddles the upper bound.
+  Relation above = run({{20, 30}});
+  Relation expect_above =
+      EncodedRelation({"cnt"}, {{{Value::Int(0)}, Interval(0, 20)},
+                                {{Value::Int(1)}, Interval(20, 24)}});
+  EXPECT_TRUE(above.BagEquals(expect_above)) << above.ToString();
+  // Straddles both bounds at once.
+  Relation both = run({{-5, 30}});
+  Relation expect_both =
+      EncodedRelation({"cnt"}, {{{Value::Int(1)}, Interval(0, 24)}});
+  EXPECT_TRUE(both.BagEquals(expect_both)) << both.ToString();
+  // Entirely outside the domain: only the full-domain gap row remains.
+  Relation outside = run({{30, 40}, {-9, -2}});
+  Relation expect_outside =
+      EncodedRelation({"cnt"}, {{{Value::Int(0)}, Interval(0, 24)}});
+  EXPECT_TRUE(outside.BagEquals(expect_outside)) << outside.ToString();
+}
+
+TEST(SplitAggregateTest, GroupedGapRowsClampedToDomain) {
+  TimeDomain domain{0, 24};
+  Relation in(Schema::FromNames({"g", "a_begin", "a_end"}));
+  in.AddRow({Value::Int(1), Value::Int(-5), Value::Int(30)});
+  in.AddRow({Value::Int(2), Value::Int(5), Value::Int(30)});
+  Relation out = SplitAggregateRelation(
+      in, {0}, {AggExpr{AggFunc::kCountStar, nullptr, "cnt"}},
+      /*gap_rows=*/true, domain);
+  Relation expect(out.schema());
+  expect.AddRow({Value::Int(1), Value::Int(1), Value::Int(0), Value::Int(24)});
+  expect.AddRow({Value::Int(2), Value::Int(0), Value::Int(0), Value::Int(5)});
+  expect.AddRow({Value::Int(2), Value::Int(1), Value::Int(5), Value::Int(24)});
+  EXPECT_TRUE(out.BagEquals(expect)) << out.ToString();
+}
+
 TEST(SplitAggregateTest, GroupedMinMaxSweep) {
   Relation in(Schema::FromNames({"g", "v", "a_begin", "a_end"}));
   auto add = [&](int64_t g, int64_t v, int64_t b, int64_t e) {
