@@ -56,8 +56,11 @@ Status LoadEmployees(TemporalDB* db, const EmployeesConfig& config) {
       "vt_end");
   if (!status.ok()) return status;
 
+  // Row-at-a-time Insert() is copy-on-write (O(table) per call); batch
+  // the whole load and ship it per table at the end.
+  BulkLoader loader(db);
   for (int d = 0; d < kNumDepartments; ++d) {
-    status = db->Insert("departments",
+    status = loader.Insert("departments",
                         {Value::String(StrCat("d", d + 1)),
                          Value::String(kDeptNames[d]), Value::Int(tmin),
                          Value::Int(tmax)});
@@ -69,7 +72,7 @@ Status LoadEmployees(TemporalDB* db, const EmployeesConfig& config) {
     // Hire somewhere in the first 60% of the domain so histories are
     // long enough for ~9 salary segments on average.
     TimePoint hire = tmin + rng.Range(0, (tmax - tmin) * 6 / 10);
-    status = db->Insert(
+    status = loader.Insert(
         "employees",
         {Value::Int(emp_no), Value::String(kFirstNames[rng.Uniform(10)]),
          Value::String(kLastNames[rng.Uniform(10)]), Value::Int(hire),
@@ -85,7 +88,7 @@ Status LoadEmployees(TemporalDB* db, const EmployeesConfig& config) {
     while (from < tmax) {
       TimePoint to = (from / 365 + 1) * 365;
       if (to > tmax) to = tmax;
-      status = db->Insert("salaries", {Value::Int(emp_no), Value::Int(salary),
+      status = loader.Insert("salaries", {Value::Int(emp_no), Value::Int(salary),
                                        Value::Int(from), Value::Int(to)});
       if (!status.ok()) return status;
       salary += rng.Range(500, 4500);
@@ -103,7 +106,7 @@ Status LoadEmployees(TemporalDB* db, const EmployeesConfig& config) {
                                                                (steps - s) +
                                                            365);
       if (title_to > tmax) title_to = tmax;
-      status = db->Insert("titles",
+      status = loader.Insert("titles",
                           {Value::Int(emp_no),
                            Value::String(kTitles[title_idx % 6]),
                            Value::Int(title_from), Value::Int(title_to)});
@@ -116,17 +119,17 @@ Status LoadEmployees(TemporalDB* db, const EmployeesConfig& config) {
     int64_t dept = 1 + static_cast<int64_t>(rng.Uniform(kNumDepartments));
     if (rng.Chance(0.12) && tmax - hire > 730) {
       TimePoint move = hire + rng.Range(365, tmax - hire - 180);
-      status = db->Insert("dept_emp", {Value::Int(emp_no),
+      status = loader.Insert("dept_emp", {Value::Int(emp_no),
                                        Value::String(StrCat("d", dept)),
                                        Value::Int(hire), Value::Int(move)});
       if (!status.ok()) return status;
       int64_t dept2 = 1 + static_cast<int64_t>(rng.Uniform(kNumDepartments));
-      status = db->Insert("dept_emp", {Value::Int(emp_no),
+      status = loader.Insert("dept_emp", {Value::Int(emp_no),
                                        Value::String(StrCat("d", dept2)),
                                        Value::Int(move), Value::Int(tmax)});
       if (!status.ok()) return status;
     } else {
-      status = db->Insert("dept_emp", {Value::Int(emp_no),
+      status = loader.Insert("dept_emp", {Value::Int(emp_no),
                                        Value::String(StrCat("d", dept)),
                                        Value::Int(hire), Value::Int(tmax)});
       if (!status.ok()) return status;
@@ -148,7 +151,7 @@ Status LoadEmployees(TemporalDB* db, const EmployeesConfig& config) {
       int64_t emp_no =
           10001 + static_cast<int64_t>(rng.Uniform(
                       static_cast<uint64_t>(config.num_employees)));
-      status = db->Insert("dept_manager",
+      status = loader.Insert("dept_manager",
                           {Value::String(StrCat("d", d + 1)),
                            Value::Int(emp_no), Value::Int(from),
                            Value::Int(to)});
@@ -156,7 +159,7 @@ Status LoadEmployees(TemporalDB* db, const EmployeesConfig& config) {
       from = to;
     }
   }
-  return Status::OK();
+  return loader.Flush();
 }
 
 }  // namespace periodk

@@ -86,14 +86,17 @@ Status LoadTpcBih(TemporalDB* db, const TpcBihConfig& config) {
     if (!status.ok()) return status;
   }
 
+  // Row-at-a-time Insert() is copy-on-write (O(table) per call); batch
+  // the whole load and ship it per table at the end.
+  BulkLoader loader(db);
   for (int r = 0; r < 5; ++r) {
     Status status =
-        db->Insert("region", {Value::Int(r), Value::String(kRegions[r]),
+        loader.Insert("region", {Value::Int(r), Value::String(kRegions[r]),
                               Value::Int(tmin), Value::Int(tmax)});
     if (!status.ok()) return status;
   }
   for (int n = 0; n < 25; ++n) {
-    Status status = db->Insert(
+    Status status = loader.Insert(
         "nation", {Value::Int(n), Value::String(kNations[n]),
                    Value::Int(kNationRegion[n]), Value::Int(tmin),
                    Value::Int(tmax)});
@@ -127,7 +130,7 @@ Status LoadTpcBih(TemporalDB* db, const TpcBihConfig& config) {
     int64_t acctbal = rng.Range(-999, 9999);
     Status status = versioned(
         tmin, [&](int version, TimePoint from, TimePoint to) {
-          return db->Insert(
+          return loader.Insert(
               "customer",
               {Value::Int(c), Value::String(StrCat("Customer#", c)),
                Value::Int(acctbal + version * 500), Value::Int(nation),
@@ -142,7 +145,7 @@ Status LoadTpcBih(TemporalDB* db, const TpcBihConfig& config) {
     int64_t acctbal = rng.Range(-999, 9999);
     Status status = versioned(
         tmin, [&](int version, TimePoint from, TimePoint to) {
-          return db->Insert(
+          return loader.Insert(
               "supplier",
               {Value::Int(s), Value::String(StrCat("Supplier#", s)),
                Value::Int(nation), Value::Int(acctbal + version * 300),
@@ -156,7 +159,7 @@ Status LoadTpcBih(TemporalDB* db, const TpcBihConfig& config) {
     std::string name = StrCat(kColors[rng.Uniform(10)], " ",
                               kColors[rng.Uniform(10)], " part");
     std::string brand = StrCat("Brand#", 1 + rng.Uniform(5), 1 + rng.Uniform(5));
-    Status status = db->Insert(
+    Status status = loader.Insert(
         "part", {Value::Int(p), Value::String(name),
                  Value::String(kTypes[rng.Uniform(8)]), Value::String(brand),
                  Value::String(kContainers[rng.Uniform(12)]),
@@ -171,7 +174,7 @@ Status LoadTpcBih(TemporalDB* db, const TpcBihConfig& config) {
       int64_t cost = rng.Range(100, 1000);
       Status ps_status = versioned(
           tmin, [&](int version, TimePoint from, TimePoint to) {
-            return db->Insert(
+            return loader.Insert(
                 "partsupp",
                 {Value::Int(p), Value::Int(supp), Value::Int(cost),
                  Value::Int(rng.Range(1, 9999) + version * 10),
@@ -188,7 +191,7 @@ Status LoadTpcBih(TemporalDB* db, const TpcBihConfig& config) {
     TimePoint orderdate = tmin + rng.Range(0, tmax - tmin - 180);
     TimePoint death = std::min<TimePoint>(
         tmax, orderdate + rng.Range(30, 120));  // active life of the order
-    Status status = db->Insert(
+    Status status = loader.Insert(
         "orders",
         {Value::Int(o), Value::Int(cust),
          Value::String(rng.Chance(0.5) ? "F" : "O"),
@@ -211,7 +214,7 @@ Status LoadTpcBih(TemporalDB* db, const TpcBihConfig& config) {
       TimePoint shipdate = orderdate + rng.Range(1, 121);
       TimePoint commitdate = orderdate + rng.Range(30, 90);
       TimePoint receiptdate = shipdate + rng.Range(1, 30);
-      Status li_status = db->Insert(
+      Status li_status = loader.Insert(
           "lineitem",
           {Value::Int(o), Value::Int(part), Value::Int(supp),
            Value::Int(quantity), Value::Double(price),
@@ -226,7 +229,7 @@ Status LoadTpcBih(TemporalDB* db, const TpcBihConfig& config) {
       if (!li_status.ok()) return li_status;
     }
   }
-  return Status::OK();
+  return loader.Flush();
 }
 
 }  // namespace periodk

@@ -1,5 +1,7 @@
 #include "engine/agg.h"
 
+#include <limits>
+
 #include "common/status.h"
 
 namespace periodk {
@@ -27,7 +29,7 @@ void AggState::Accumulate(const Value& v, int64_t mult) {
   count += mult;
   if (v.is_numeric()) {
     if (v.type() == ValueType::kInt) {
-      isum += v.AsInt() * mult;
+      isum += static_cast<__int128>(v.AsInt()) * mult;
     } else {
       all_int = false;
     }
@@ -56,9 +58,15 @@ Value AggState::Finalize(AggFunc f, int64_t star_count) const {
       return Value::Int(star_count);
     case AggFunc::kCount:
       return Value::Int(count);
-    case AggFunc::kSum:
+    case AggFunc::kSum: {
       if (!any) return Value::Null();
-      return all_int ? Value::Int(isum) : Value::Double(dsum);
+      constexpr __int128 kInt64Min = std::numeric_limits<int64_t>::min();
+      constexpr __int128 kInt64Max = std::numeric_limits<int64_t>::max();
+      if (all_int && isum >= kInt64Min && isum <= kInt64Max) {
+        return Value::Int(static_cast<int64_t>(isum));
+      }
+      return Value::Double(dsum);
+    }
     case AggFunc::kAvg:
       if (count == 0) return Value::Null();
       return Value::Double(dsum / static_cast<double>(count));

@@ -19,11 +19,21 @@ const char* AggFuncName(AggFunc f);
 /// remaining functions ignore nulls and yield NULL on empty input.
 /// Multiplicities allow bag-annotated accumulation (one call per
 /// distinct tuple instead of per duplicate).
+///
+/// The integer sum is kept in 128 bits so that summing
+/// endpoint-magnitude values — a TimeDomain touching INT64_MIN or
+/// INT64_MAX puts such values in plain columns — is never UB, and so
+/// that accumulation order cannot matter: a sum whose intermediate
+/// prefix overflows int64 but whose total fits still finalizes as that
+/// exact integer, identically for sequential accumulation and the
+/// parallel chunk-and-Merge path.  Only a *total* outside int64 widens
+/// to the double sum.  (128 bits cannot realistically overflow: it
+/// would take 2^63 rows of INT64_MAX.)
 struct AggState {
   int64_t count = 0;
   bool any = false;
   bool all_int = true;
-  int64_t isum = 0;
+  __int128 isum = 0;
   double dsum = 0.0;
   Value min_v;
   Value max_v;

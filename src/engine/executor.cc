@@ -7,12 +7,22 @@
 
 #include "common/status.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "engine/interval_join.h"
 #include "engine/temporal_ops.h"
 
 namespace periodk {
 
 const Relation& Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw EngineError(StrCat("unknown table: ", name));
+  }
+  return *it->second;
+}
+
+std::shared_ptr<const Relation> Catalog::GetShared(
+    const std::string& name) const {
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     throw EngineError(StrCat("unknown table: ", name));
@@ -30,27 +40,21 @@ std::vector<std::string> Catalog::TableNames() const {
 namespace {
 
 // Execution passes relations between operators through shared handles
-// so that leaves need no materialization: scans borrow the catalog's
-// relation and constants share the plan's, while every computed
+// so that leaves need no materialization: scans share the catalog's
+// relation handle and constants share the plan's, while every computed
 // intermediate is uniquely owned.  Operators that only read take a
 // const reference; operators that want to consume their input call
 // Materialize, which moves from a uniquely-owned intermediate and
-// copies only when the input is borrowed or still shared.
+// copies only when the input is a leaf handle or still shared.
 using RelHandle = std::shared_ptr<const Relation>;
-
-RelHandle Borrow(const Relation& relation) {
-  // Aliasing handle with no control block: use_count() == 0 marks it
-  // as borrowed.  Lifetime is guaranteed by the catalog/plan outliving
-  // the execution.
-  return RelHandle(RelHandle(), &relation);
-}
 
 Relation Materialize(RelHandle h) {
   if (h.use_count() == 1) {
     // Sole owner of a computed intermediate (created via Own below, so
     // the underlying object is non-const): steal it.  A memoized handle
-    // reaches use_count 1 only after its last consumer claimed it, so
-    // the steal never races an outstanding reader.
+    // reaches use_count 1 only after its last consumer claimed it, and
+    // scan/constant handles are co-owned by the catalog/plan, so the
+    // steal never races an outstanding reader.
     return std::move(*std::const_pointer_cast<Relation>(h));
   }
   return *h;
@@ -127,13 +131,13 @@ Relation ExecHashJoin(const Plan& plan, const Relation& left,
 }
 
 Relation ExecJoin(const Plan& plan, const Relation& left,
-                  const Relation& right) {
+                  const Relation& right, const OpContext& ctx) {
   // Physical join selection from the build-time predicate analysis:
   // interval sweep when an overlap conjunct was recognized (with the
   // equi-keys as partition keys), hash join on plain equi-keys, nested
   // loop only for genuinely opaque predicates.
   if (plan.join.overlap.has_value()) {
-    return IntervalOverlapJoin(plan, left, right);
+    return IntervalOverlapJoin(plan, left, right, ctx);
   }
   if (!plan.join.equi_keys.empty()) {
     return ExecHashJoin(plan, left, right);
@@ -182,18 +186,63 @@ struct GroupState {
   std::vector<AggState> states;
 };
 
-Relation ExecAggregate(const Plan& plan, const Relation& input) {
-  std::unordered_map<Row, GroupState, RowHash, RowEq> groups;
-  for (const Row& row : input.rows()) {
+using GroupMap = std::unordered_map<Row, GroupState, RowHash, RowEq>;
+
+/// Accumulates rows [begin, end) of the input into `groups`.
+void AccumulateGroups(const Plan& plan, const Relation& input, int64_t begin,
+                      int64_t end, GroupMap& groups) {
+  const std::vector<Row>& rows = input.rows();
+  for (int64_t i = begin; i < end; ++i) {
+    const Row& row = rows[static_cast<size_t>(i)];
     Row key;
     key.reserve(plan.exprs.size());
     for (const ExprPtr& e : plan.exprs) key.push_back(e->Eval(row));
     GroupState& g = groups[key];
     if (g.states.empty()) g.states.resize(plan.aggs.size());
     g.star_count += 1;
-    for (size_t i = 0; i < plan.aggs.size(); ++i) {
-      if (plan.aggs[i].func == AggFunc::kCountStar) continue;
-      g.states[i].Accumulate(plan.aggs[i].arg->Eval(row));
+    for (size_t i2 = 0; i2 < plan.aggs.size(); ++i2) {
+      if (plan.aggs[i2].func == AggFunc::kCountStar) continue;
+      g.states[i2].Accumulate(plan.aggs[i2].arg->Eval(row));
+    }
+  }
+}
+
+Relation ExecAggregate(const Plan& plan, const Relation& input,
+                       const OpContext& ctx) {
+  // Partition-parallel hash aggregation: each chunk of the input builds
+  // a private group table, merged pairwise at the join point (AggState
+  // partials merge exactly — the same machinery pre-aggregation uses).
+  // The single-chunk path is the sequential operator, bit for bit.
+  auto ranges = PlanChunks(ctx.num_threads(),
+                           static_cast<int64_t>(input.size()),
+                           /*min_grain=*/4096);
+  GroupMap groups;
+  if (ranges.size() <= 1) {
+    AccumulateGroups(plan, input, 0, static_cast<int64_t>(input.size()),
+                     groups);
+  } else {
+    std::vector<GroupMap> maps(ranges.size());
+    std::vector<ExecStats> chunk_stats(ranges.size());
+    RunChunks(ctx.pool->get(), ranges, [&](size_t c, int64_t b, int64_t e) {
+      AccumulateGroups(plan, input, b, e, maps[c]);
+      chunk_stats[c].parallel_tasks = 1;
+    });
+    groups = std::move(maps[0]);
+    for (size_t c = 1; c < maps.size(); ++c) {
+      for (auto& [key, g] : maps[c]) {
+        auto [it, inserted] = groups.try_emplace(key, std::move(g));
+        if (inserted) continue;
+        GroupState& dst = it->second;
+        dst.star_count += g.star_count;
+        // Both sides sized their states on group creation, so this is
+        // a straight element-wise merge (empty only when aggs is empty).
+        for (size_t i = 0; i < dst.states.size(); ++i) {
+          dst.states[i].Merge(g.states[i]);
+        }
+      }
+    }
+    if (ctx.stats != nullptr) {
+      for (const ExecStats& s : chunk_stats) ctx.stats->Merge(s);
     }
   }
   if (plan.exprs.empty() && groups.empty()) {
@@ -245,8 +294,9 @@ Relation ExecSort(const Plan& plan, Relation input) {
 // only while use_count proves other consumers remain.
 class ExecutionContext {
  public:
-  ExecutionContext(const Catalog& catalog, ExecStats* stats, bool memoize)
-      : catalog_(catalog), stats_(stats), memoize_(memoize) {}
+  ExecutionContext(const Catalog& catalog, ExecStats* stats, bool memoize,
+                   LazyThreadPool* pool)
+      : catalog_(catalog), stats_(stats), memoize_(memoize), pool_(pool) {}
 
   RelHandle Run(const PlanPtr& plan) {
     if (memoize_) CountConsumers(plan);
@@ -291,11 +341,17 @@ class ExecutionContext {
     return std::make_shared<Relation>(std::move(relation));
   }
 
+  OpContext Ctx() const { return OpContext{pool_, stats_}; }
+
   RelHandle Compute(const PlanPtr& plan) {
     if (stats_ != nullptr) ++stats_->nodes_executed;
     switch (plan->kind) {
       case PlanKind::kScan:
-        return Borrow(catalog_.Get(plan->table));
+        // Shares the catalog's handle: zero-copy, and the co-ownership
+        // keeps use_count above 1 so Materialize never steals a base
+        // table — and keeps the relation alive even if a concurrent
+        // writer publishes a replacement into its source catalog.
+        return catalog_.GetShared(plan->table);
       case PlanKind::kConstant:
         return plan->constant;
       case PlanKind::kSelect:
@@ -305,7 +361,7 @@ class ExecutionContext {
       case PlanKind::kJoin: {
         RelHandle l = ExecuteNode(plan->left);
         RelHandle r = ExecuteNode(plan->right);
-        return Own(ExecJoin(*plan, *l, *r));
+        return Own(ExecJoin(*plan, *l, *r, Ctx()));
       }
       case PlanKind::kUnionAll: {
         RelHandle l = ExecuteNode(plan->left);
@@ -323,14 +379,14 @@ class ExecutionContext {
         return Own(ExecAntiJoin(*plan, Materialize(std::move(l)), *r));
       }
       case PlanKind::kAggregate:
-        return Own(ExecAggregate(*plan, *ExecuteNode(plan->left)));
+        return Own(ExecAggregate(*plan, *ExecuteNode(plan->left), Ctx()));
       case PlanKind::kDistinct:
         return Own(ExecDistinct(*plan, Materialize(ExecuteNode(plan->left))));
       case PlanKind::kSort:
         return Own(ExecSort(*plan, Materialize(ExecuteNode(plan->left))));
       case PlanKind::kCoalesce:
-        return Own(
-            CoalesceRelation(*ExecuteNode(plan->left), plan->coalesce_impl));
+        return Own(CoalesceRelation(*ExecuteNode(plan->left),
+                                    plan->coalesce_impl, Ctx()));
       case PlanKind::kSplit: {
         RelHandle l = ExecuteNode(plan->left);
         RelHandle r = ExecuteNode(plan->right);
@@ -339,7 +395,7 @@ class ExecutionContext {
       case PlanKind::kSplitAggregate:
         return Own(SplitAggregateRelation(
             *ExecuteNode(plan->left), plan->split_group, plan->aggs,
-            plan->gap_rows, plan->domain, plan->pre_aggregate));
+            plan->gap_rows, plan->domain, plan->pre_aggregate, Ctx()));
       case PlanKind::kTimeslice:
         return Own(TimesliceEncoded(*ExecuteNode(plan->left),
                                     plan->slice_time));
@@ -350,6 +406,7 @@ class ExecutionContext {
   const Catalog& catalog_;
   ExecStats* stats_;
   bool memoize_;
+  LazyThreadPool* pool_;
   // Requests not yet served per node; nodes starting > 1 are shared.
   std::unordered_map<const Plan*, int> consumers_left_;
   // Results of shared nodes awaiting their remaining consumers.
@@ -358,16 +415,54 @@ class ExecutionContext {
 
 }  // namespace
 
+int OpContext::num_threads() const {
+  return pool == nullptr ? 1 : pool->num_threads();
+}
+
+Relation GatherChunks(std::vector<Relation> outs,
+                      std::vector<ExecStats> chunk_stats,
+                      const OpContext& ctx) {
+  Relation out = std::move(outs.front());
+  for (size_t c = 1; c < outs.size(); ++c) {
+    out.Reserve(out.size() + outs[c].size());
+    for (Row& row : outs[c].mutable_rows()) out.AddRow(std::move(row));
+  }
+  if (ctx.stats != nullptr) {
+    for (const ExecStats& s : chunk_stats) ctx.stats->Merge(s);
+  }
+  return out;
+}
+
+void ExecStats::Merge(const ExecStats& other) {
+  nodes_executed += other.nodes_executed;
+  memo_hits += other.memo_hits;
+  rows_materialized += other.rows_materialized;
+  parallel_tasks += other.parallel_tasks;
+}
+
 std::string ExecStats::ToString() const {
   return StrCat("nodes executed: ", nodes_executed,
                 ", memo hits: ", memo_hits,
-                ", rows materialized: ", rows_materialized);
+                ", rows materialized: ", rows_materialized,
+                ", parallel tasks: ", parallel_tasks);
+}
+
+Relation Execute(const PlanPtr& plan, const Catalog& catalog,
+                 const ExecOptions& options, ExecStats* stats) {
+  // Lazy: workers spawn only if some operator actually fans out, so
+  // small (single-chunk) queries cost no thread churn even at high
+  // num_threads settings.
+  LazyThreadPool pool(options.num_threads);
+  ExecutionContext context(catalog, stats, options.memoize,
+                           options.num_threads > 1 ? &pool : nullptr);
+  return Materialize(context.Run(plan));
 }
 
 Relation Execute(const PlanPtr& plan, const Catalog& catalog,
                  ExecStats* stats, bool memoize) {
-  ExecutionContext context(catalog, stats, memoize);
-  return Materialize(context.Run(plan));
+  ExecOptions options;
+  options.memoize = memoize;
+  return Execute(plan, catalog, options, stats);
 }
 
 }  // namespace periodk

@@ -1,11 +1,12 @@
 // Catalog of materialized relations and the plan executor.  Execution is
 // operator-at-a-time (each operator materializes its output), which
 // keeps the engine simple and is adequate for the paper-scale workloads.
-// Leaves are zero-copy: scans borrow the catalog's relation, constants
-// share the plan's.  Physical join selection reads the plan's build-time
-// predicate analysis (ra/join_analysis.h): the sweep-based interval
-// join when an overlap conjunct was recognized, a hash join on plain
-// equi-keys, and a nested loop only for genuinely opaque predicates.
+// Leaves are zero-copy: scans share the catalog's relation handle,
+// constants share the plan's.  Physical join selection reads the plan's
+// build-time predicate analysis (ra/join_analysis.h): the sweep-based
+// interval join when an overlap conjunct was recognized, a hash join on
+// plain equi-keys, and a nested loop only for genuinely opaque
+// predicates.
 //
 // Plans are DAGs, not trees: REWR shares subplans (snapshot DISTINCT
 // splits a query against itself, snapshot difference references each
@@ -13,11 +14,21 @@
 // reachable through several parents executes exactly once and later
 // consumers reuse the materialized handle (copying only when other
 // consumers still need it; the last consumer may steal).
+//
+// Concurrency: the catalog stores immutable relations behind
+// shared_ptr<const Relation>, so copying a Catalog produces an O(#tables)
+// *snapshot* that shares table storage — the middleware pins such a
+// snapshot per query and publishes mutations copy-on-write, which makes
+// any number of concurrent executions against their pinned snapshots
+// safe.  Within one execution, operators fan their partitions out to a
+// work-stealing pool when ExecOptions::num_threads > 1; num_threads == 1
+// is bit-identical to the sequential executor.
 #ifndef PERIODK_ENGINE_EXECUTOR_H_
 #define PERIODK_ENGINE_EXECUTOR_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,25 +37,32 @@
 
 namespace periodk {
 
+class LazyThreadPool;
+
 class Catalog {
  public:
   void Put(const std::string& name, Relation relation) {
-    tables_.insert_or_assign(name, std::move(relation));
+    tables_.insert_or_assign(
+        name, std::make_shared<const Relation>(std::move(relation)));
   }
   bool Has(const std::string& name) const { return tables_.count(name) > 0; }
   const Relation& Get(const std::string& name) const;
-  /// Mutable access for inserts; nullptr when absent.
-  Relation* GetMutable(const std::string& name) {
-    auto it = tables_.find(name);
-    return it == tables_.end() ? nullptr : &it->second;
-  }
+  /// The shared handle of a table; throws EngineError when absent.
+  /// Holding the handle keeps the relation alive across catalog
+  /// mutations that replace the entry (copy-on-write publication).
+  std::shared_ptr<const Relation> GetShared(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
  private:
-  std::map<std::string, Relation> tables_;
+  // Copying the map copies shared_ptrs, not relations: a Catalog copy is
+  // an immutable snapshot of the whole database.
+  std::map<std::string, std::shared_ptr<const Relation>> tables_;
 };
 
 /// Per-execution counters, for tests and EXPLAIN ANALYZE-style output.
+/// Parallel operators accumulate into per-worker instances and Merge
+/// them into the run's stats at their join points, so no counter is
+/// ever written concurrently.
 struct ExecStats {
   /// Operator evaluations actually performed (one per *unique* reachable
   /// plan node when memoization is on; one per tree-expanded node off).
@@ -54,15 +72,54 @@ struct ExecStats {
   /// Rows written into freshly materialized operator outputs (borrowed
   /// scan/constant handles do not count).
   int64_t rows_materialized = 0;
+  /// Partition chunks executed on the thread pool (0 in sequential
+  /// runs: the single-chunk path never touches the pool).
+  int64_t parallel_tasks = 0;
 
+  void Merge(const ExecStats& other);
   std::string ToString() const;
 };
 
+/// Execution-time knobs, distinct from the plan-shaping RewriteOptions.
+struct ExecOptions {
+  /// false disables shared-subplan reuse (reference semantics for tests
+  /// and ablation: the plan DAG is executed as its full tree expansion).
+  bool memoize = true;
+  /// Intra-query parallelism: partitioned operators fan out to a
+  /// work-stealing pool of this many threads.  1 (the default) keeps
+  /// execution on the calling thread and bit-identical to the
+  /// pre-parallel executor.
+  int num_threads = 1;
+};
+
+/// What an operator needs from its execution context: the pool to fan
+/// partitions out to (null = sequential; created lazily on the first
+/// multi-chunk fan-out, so single-chunk queries never spawn threads)
+/// and the run's stats to merge per-worker counters into (null = not
+/// collected).
+struct OpContext {
+  LazyThreadPool* pool = nullptr;
+  ExecStats* stats = nullptr;
+
+  /// Thread budget for PlanChunks; 1 when no pool was provided.
+  int num_threads() const;
+};
+
+/// Concatenates per-chunk operator outputs in chunk order (so a
+/// parallel result depends on the chunk plan, never on worker
+/// scheduling) and merges the per-worker stats at this join point.
+/// Shared by every partition-parallel operator.
+Relation GatherChunks(std::vector<Relation> outs,
+                      std::vector<ExecStats> chunk_stats,
+                      const OpContext& ctx);
+
 /// Executes a logical plan against the catalog; throws EngineError on
 /// invariant violations (e.g. unknown table).  `stats`, when non-null,
-/// receives the run's counters.  `memoize` = false disables shared-
-/// subplan reuse (reference semantics for tests and ablation: the plan
-/// DAG is executed as its full tree expansion).
+/// receives the run's counters.
+Relation Execute(const PlanPtr& plan, const Catalog& catalog,
+                 const ExecOptions& options, ExecStats* stats = nullptr);
+
+/// Legacy signature; `memoize` = false maps to ExecOptions::memoize.
 Relation Execute(const PlanPtr& plan, const Catalog& catalog,
                  ExecStats* stats = nullptr, bool memoize = true);
 

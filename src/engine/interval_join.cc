@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "temporal/interval.h"
 
 namespace periodk {
@@ -52,31 +53,21 @@ Row Concat(const Row& lrow, const Row& rrow) {
   return combined;
 }
 
-}  // namespace
+// Reusable per-worker sweep scratch: the active sets are min-heaps on
+// interval end so expired entries pop in O(log n); emission scans the
+// underlying vector (heap order is irrelevant -- after pruning, every
+// active entry overlaps).
+using ActiveEntry = std::pair<TimePoint, const Row*>;
+struct SweepScratch {
+  std::vector<ActiveEntry> active_l;
+  std::vector<ActiveEntry> active_r;
+};
 
-Relation NestedLoopJoin(const Plan& plan, const Relation& left,
-                        const Relation& right) {
-  Relation out(plan.schema);
-  for (const Row& lrow : left.rows()) {
-    for (const Row& rrow : right.rows()) {
-      Row combined = Concat(lrow, rrow);
-      if (plan.predicate->EvalBool(combined)) {
-        out.AddRow(std::move(combined));
-      }
-    }
-  }
-  return out;
-}
-
-Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
-                             const Relation& right) {
+/// Joins one bucket into `out`.  Mutates the bucket (sorts its staged
+/// rows), so each bucket must be processed by exactly one worker.
+void ProcessBucket(const Plan& plan, Bucket& bucket, Relation& out,
+                   SweepScratch& scratch) {
   const JoinAnalysis& ja = plan.join;
-  if (!ja.overlap.has_value()) {
-    throw EngineError("IntervalOverlapJoin requires an overlap conjunct");
-  }
-  const OverlapSpec& ov = *ja.overlap;
-  Relation out(plan.schema);
-
   // The sweep has already established the equi-keys (by bucketing) and
   // the overlap conjunct; only the residual remains to check.
   auto emit_fast = [&](const Row& lrow, const Row& rrow) {
@@ -94,6 +85,89 @@ Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
       out.AddRow(std::move(combined));
     }
   };
+
+  // Slow lane first: every pair with a malformed side.
+  for (const Row* lrow : bucket.slow_left) {
+    for (const SweepRow& r : bucket.fast_right) emit_slow(*lrow, *r.row);
+    for (const Row* rrow : bucket.slow_right) emit_slow(*lrow, *rrow);
+  }
+  for (const SweepRow& l : bucket.fast_left) {
+    for (const Row* rrow : bucket.slow_right) emit_slow(*l.row, *rrow);
+  }
+
+  // Plane sweep over the well-formed intervals: advance both inputs
+  // in begin order; an arriving interval pairs with every active
+  // opposite interval that has not yet ended.  Each overlapping pair
+  // is emitted exactly once, when its later-starting member arrives.
+  std::vector<SweepRow>& ls = bucket.fast_left;
+  std::vector<SweepRow>& rs = bucket.fast_right;
+  if (ls.empty() || rs.empty()) return;
+  auto by_begin = [](const SweepRow& a, const SweepRow& b) {
+    return a.begin < b.begin;
+  };
+  std::sort(ls.begin(), ls.end(), by_begin);
+  std::sort(rs.begin(), rs.end(), by_begin);
+  auto ends_later = [](const ActiveEntry& a, const ActiveEntry& b) {
+    return a.first > b.first;
+  };
+  std::vector<ActiveEntry>& active_l = scratch.active_l;
+  std::vector<ActiveEntry>& active_r = scratch.active_r;
+  active_l.clear();
+  active_r.clear();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ls.size() || j < rs.size()) {
+    bool take_left =
+        j >= rs.size() || (i < ls.size() && ls[i].begin <= rs[j].begin);
+    if (take_left) {
+      const SweepRow& cur = ls[i++];
+      while (!active_r.empty() && active_r.front().first <= cur.begin) {
+        std::pop_heap(active_r.begin(), active_r.end(), ends_later);
+        active_r.pop_back();
+      }
+      for (const ActiveEntry& entry : active_r) {
+        emit_fast(*cur.row, *entry.second);
+      }
+      active_l.emplace_back(cur.end, cur.row);
+      std::push_heap(active_l.begin(), active_l.end(), ends_later);
+    } else {
+      const SweepRow& cur = rs[j++];
+      while (!active_l.empty() && active_l.front().first <= cur.begin) {
+        std::pop_heap(active_l.begin(), active_l.end(), ends_later);
+        active_l.pop_back();
+      }
+      for (const ActiveEntry& entry : active_l) {
+        emit_fast(*entry.second, *cur.row);
+      }
+      active_r.emplace_back(cur.end, cur.row);
+      std::push_heap(active_r.begin(), active_r.end(), ends_later);
+    }
+  }
+}
+
+}  // namespace
+
+Relation NestedLoopJoin(const Plan& plan, const Relation& left,
+                        const Relation& right) {
+  Relation out(plan.schema);
+  for (const Row& lrow : left.rows()) {
+    for (const Row& rrow : right.rows()) {
+      Row combined = Concat(lrow, rrow);
+      if (plan.predicate->EvalBool(combined)) {
+        out.AddRow(std::move(combined));
+      }
+    }
+  }
+  return out;
+}
+
+Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
+                             const Relation& right, const OpContext& ctx) {
+  const JoinAnalysis& ja = plan.join;
+  if (!ja.overlap.has_value()) {
+    throw EngineError("IntervalOverlapJoin requires an overlap conjunct");
+  }
+  const OverlapSpec& ov = *ja.overlap;
 
   // Hash-partition both inputs on the equi-keys (single bucket for a
   // pure temporal join).  NULL keys never equi-join, matching the
@@ -129,71 +203,37 @@ Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
   stage(left, /*is_left=*/true);
   stage(right, /*is_left=*/false);
 
-  auto by_begin = [](const SweepRow& a, const SweepRow& b) {
-    return a.begin < b.begin;
-  };
-  // Active sets are min-heaps on interval end so expired entries pop in
-  // O(log n); emission scans the underlying vector (heap order is
-  // irrelevant -- after pruning, every active entry overlaps).
-  using ActiveEntry = std::pair<TimePoint, const Row*>;
-  auto ends_later = [](const ActiveEntry& a, const ActiveEntry& b) {
-    return a.first > b.first;
-  };
-  std::vector<ActiveEntry> active_l;
-  std::vector<ActiveEntry> active_r;
+  // The partitions the sweep needs anyway are the parallel work units:
+  // chunks of buckets fan out to the pool, each emitting into its own
+  // output slot, concatenated in partition order afterwards — so the
+  // result row order depends only on the chunk plan, not on worker
+  // scheduling.  A single-bucket join (pure temporal, no equi-keys)
+  // stays sequential by construction.
+  std::vector<Bucket*> ordered;
+  ordered.reserve(buckets.size());
+  for (auto& [key, bucket] : buckets) ordered.push_back(&bucket);
+  auto ranges = PlanChunks(ctx.num_threads(),
+                           static_cast<int64_t>(ordered.size()),
+                           /*min_grain=*/1);
 
-  for (auto& [key, bucket] : buckets) {
-    // Slow lane first: every pair with a malformed side.
-    for (const Row* lrow : bucket.slow_left) {
-      for (const SweepRow& r : bucket.fast_right) emit_slow(*lrow, *r.row);
-      for (const Row* rrow : bucket.slow_right) emit_slow(*lrow, *rrow);
+  if (ranges.size() <= 1) {
+    Relation out(plan.schema);
+    SweepScratch scratch;
+    for (Bucket* bucket : ordered) {
+      ProcessBucket(plan, *bucket, out, scratch);
     }
-    for (const SweepRow& l : bucket.fast_left) {
-      for (const Row* rrow : bucket.slow_right) emit_slow(*l.row, *rrow);
-    }
-
-    // Plane sweep over the well-formed intervals: advance both inputs
-    // in begin order; an arriving interval pairs with every active
-    // opposite interval that has not yet ended.  Each overlapping pair
-    // is emitted exactly once, when its later-starting member arrives.
-    std::vector<SweepRow>& ls = bucket.fast_left;
-    std::vector<SweepRow>& rs = bucket.fast_right;
-    if (ls.empty() || rs.empty()) continue;
-    std::sort(ls.begin(), ls.end(), by_begin);
-    std::sort(rs.begin(), rs.end(), by_begin);
-    active_l.clear();
-    active_r.clear();
-    size_t i = 0;
-    size_t j = 0;
-    while (i < ls.size() || j < rs.size()) {
-      bool take_left =
-          j >= rs.size() || (i < ls.size() && ls[i].begin <= rs[j].begin);
-      if (take_left) {
-        const SweepRow& cur = ls[i++];
-        while (!active_r.empty() && active_r.front().first <= cur.begin) {
-          std::pop_heap(active_r.begin(), active_r.end(), ends_later);
-          active_r.pop_back();
-        }
-        for (const ActiveEntry& entry : active_r) {
-          emit_fast(*cur.row, *entry.second);
-        }
-        active_l.emplace_back(cur.end, cur.row);
-        std::push_heap(active_l.begin(), active_l.end(), ends_later);
-      } else {
-        const SweepRow& cur = rs[j++];
-        while (!active_l.empty() && active_l.front().first <= cur.begin) {
-          std::pop_heap(active_l.begin(), active_l.end(), ends_later);
-          active_l.pop_back();
-        }
-        for (const ActiveEntry& entry : active_l) {
-          emit_fast(*entry.second, *cur.row);
-        }
-        active_r.emplace_back(cur.end, cur.row);
-        std::push_heap(active_r.begin(), active_r.end(), ends_later);
-      }
-    }
+    return out;
   }
-  return out;
+  std::vector<Relation> outs(ranges.size(), Relation(plan.schema));
+  std::vector<ExecStats> chunk_stats(ranges.size());
+  RunChunks(ctx.pool->get(), ranges, [&](size_t c, int64_t b, int64_t e) {
+    SweepScratch scratch;
+    for (int64_t i = b; i < e; ++i) {
+      ProcessBucket(plan, *ordered[static_cast<size_t>(i)], outs[c], scratch);
+    }
+    chunk_stats[c].parallel_tasks = 1;
+  });
+  return GatherChunks(std::move(outs), std::move(chunk_stats), ctx);
 }
 
 }  // namespace periodk

@@ -8,6 +8,7 @@
 #ifndef PERIODK_ENGINE_INTERVAL_JOIN_H_
 #define PERIODK_ENGINE_INTERVAL_JOIN_H_
 
+#include "engine/executor.h"
 #include "engine/relation.h"
 #include "ra/plan.h"
 
@@ -19,8 +20,10 @@ namespace periodk {
 /// are not well-formed intervals (non-integer values, begin >= end) are
 /// routed through a per-partition nested-loop slow lane so SQL
 /// three-valued comparison semantics are preserved bit-for-bit.
+/// With a pool in `ctx` the equi-key partitions fan out to workers
+/// (a pure temporal join has one partition and stays sequential).
 Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
-                             const Relation& right);
+                             const Relation& right, const OpContext& ctx = {});
 
 /// Reference implementation: O(n * m) nested loop evaluating the full
 /// join predicate on every pair.  Kept as the correctness baseline for

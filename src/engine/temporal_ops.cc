@@ -1,11 +1,13 @@
 #include "engine/temporal_ops.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <tuple>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "engine/window.h"
 
 namespace periodk {
@@ -27,23 +29,36 @@ size_t NonTemporalArity(const Relation& r, const char* op) {
   return r.schema().size() - 2;
 }
 
+/// Decodes the trailing interval of an encoded row.  Returns false for
+/// an empty validity interval (begin >= end: annotation 0 everywhere);
+/// throws on non-integer endpoints.  Every temporal operator — and in
+/// particular *both* coalesce implementations — routes its drop-empty
+/// decision through here, so they cannot diverge on degenerate rows.
+bool DecodeRowInterval(const Row& row, size_t nattr, TimePoint* b,
+                       TimePoint* e) {
+  *b = TimeOf(row[nattr]);
+  *e = TimeOf(row[nattr + 1]);
+  return *b < *e;
+}
+
 }  // namespace
 
-Relation CoalesceNative(const Relation& input) {
+Relation CoalesceNative(const Relation& input, const OpContext& ctx) {
   size_t nattr = NonTemporalArity(input, "Coalesce");
   std::unordered_map<Row, std::vector<std::pair<TimePoint, TimePoint>>,
                      RowHash, RowEq>
       groups;
   for (const Row& row : input.rows()) {
-    TimePoint b = TimeOf(row[nattr]);
-    TimePoint e = TimeOf(row[nattr + 1]);
-    if (b >= e) continue;  // empty validity: annotation 0 everywhere
+    TimePoint b = 0;
+    TimePoint e = 0;
+    if (!DecodeRowInterval(row, nattr, &b, &e)) continue;
     Row key(row.begin(), row.begin() + static_cast<long>(nattr));
     groups[key].emplace_back(b, e);
   }
-  Relation out(input.schema());
-  std::vector<std::pair<TimePoint, int64_t>> events;
-  for (auto& [key, intervals] : groups) {
+
+  using Intervals = std::vector<std::pair<TimePoint, TimePoint>>;
+  auto sweep_group = [&](const Row& key, Intervals& intervals, Relation& out,
+                         std::vector<std::pair<TimePoint, int64_t>>& events) {
     events.clear();
     events.reserve(intervals.size() * 2);
     for (auto& [b, e] : intervals) {
@@ -74,8 +89,35 @@ Relation CoalesceNative(const Relation& input) {
       seg_start = t;
       count = next;
     }
+  };
+
+  // The per-group sweeps are independent: chunks of groups fan out to
+  // the pool, each into its own output slot.
+  std::vector<std::pair<const Row*, Intervals*>> ordered;
+  ordered.reserve(groups.size());
+  for (auto& [key, intervals] : groups) ordered.emplace_back(&key, &intervals);
+  auto ranges = PlanChunks(ctx.num_threads(),
+                           static_cast<int64_t>(ordered.size()),
+                           /*min_grain=*/1);
+  if (ranges.size() <= 1) {
+    Relation out(input.schema());
+    std::vector<std::pair<TimePoint, int64_t>> events;
+    for (auto& [key, intervals] : ordered) {
+      sweep_group(*key, *intervals, out, events);
+    }
+    return out;
   }
-  return out;
+  std::vector<Relation> outs(ranges.size(), Relation(input.schema()));
+  std::vector<ExecStats> chunk_stats(ranges.size());
+  RunChunks(ctx.pool->get(), ranges, [&](size_t c, int64_t b, int64_t e) {
+    std::vector<std::pair<TimePoint, int64_t>> events;
+    for (int64_t i = b; i < e; ++i) {
+      auto& [key, intervals] = ordered[static_cast<size_t>(i)];
+      sweep_group(*key, *intervals, outs[c], events);
+    }
+    chunk_stats[c].parallel_tasks = 1;
+  });
+  return GatherChunks(std::move(outs), std::move(chunk_stats), ctx);
 }
 
 Relation CoalesceWindow(const Relation& input) {
@@ -91,9 +133,9 @@ Relation CoalesceWindow(const Relation& input) {
   Relation events(std::move(ev_schema));
   events.Reserve(input.size() * 2);
   for (const Row& row : input.rows()) {
-    TimePoint b = TimeOf(row[nattr]);
-    TimePoint e = TimeOf(row[nattr + 1]);
-    if (b >= e) continue;
+    TimePoint b = 0;
+    TimePoint e = 0;
+    if (!DecodeRowInterval(row, nattr, &b, &e)) continue;
     Row open(row.begin(), row.begin() + static_cast<long>(nattr));
     Row close = open;
     open.push_back(Value::Int(b));
@@ -166,8 +208,9 @@ Relation CoalesceWindow(const Relation& input) {
   return out;
 }
 
-Relation CoalesceRelation(const Relation& input, CoalesceImpl impl) {
-  return impl == CoalesceImpl::kNative ? CoalesceNative(input)
+Relation CoalesceRelation(const Relation& input, CoalesceImpl impl,
+                          const OpContext& ctx) {
+  return impl == CoalesceImpl::kNative ? CoalesceNative(input, ctx)
                                        : CoalesceWindow(input);
 }
 
@@ -192,9 +235,9 @@ Relation SplitRelation(const Relation& left, const Relation& right,
   std::unordered_map<Row, std::vector<TimePoint>, RowHash, RowEq> endpoints;
   auto collect = [&](const Relation& r) {
     for (const Row& row : r.rows()) {
-      TimePoint b = TimeOf(row[nattr]);
-      TimePoint e = TimeOf(row[nattr + 1]);
-      if (b >= e) continue;
+      TimePoint b = 0;
+      TimePoint e = 0;
+      if (!DecodeRowInterval(row, nattr, &b, &e)) continue;
       Row key;
       key.reserve(group_cols.size());
       for (int c : group_cols) key.push_back(row[static_cast<size_t>(c)]);
@@ -216,9 +259,9 @@ Relation SplitRelation(const Relation& left, const Relation& right,
     if (t_split_budget < 0) throw SplitBudgetExceeded();
   };
   for (const Row& row : left.rows()) {
-    TimePoint b = TimeOf(row[nattr]);
-    TimePoint e = TimeOf(row[nattr + 1]);
-    if (b >= e) continue;
+    TimePoint b = 0;
+    TimePoint e = 0;
+    if (!DecodeRowInterval(row, nattr, &b, &e)) continue;
     Row key;
     key.reserve(group_cols.size());
     for (int c : group_cols) key.push_back(row[static_cast<size_t>(c)]);
@@ -255,10 +298,18 @@ struct Partial {
 // Running sweep state for one aggregate function: count/sum support
 // subtraction; min/max keep an ordered multiset of partial extrema
 // (min/max distribute over the partial decomposition).
+//
+// The integer sum is maintained in 128-bit arithmetic so that summing
+// endpoint-magnitude values (a TimeDomain touching INT64_MIN/INT64_MAX
+// puts such values in plain columns) is never UB: opens and closes
+// cancel exactly, a fragment whose true sum fits int64 finalizes as
+// that exact integer, and one that does not widens to the double sum —
+// the same behavior AggState has on overflow.  (The 128-bit sum itself
+// cannot overflow: it would take 2^64 simultaneously open partials.)
 struct RunningAgg {
   int64_t count = 0;
   int64_t n_nonint = 0;
-  int64_t isum = 0;
+  __int128 isum = 0;
   double dsum = 0.0;
   std::map<Value, int64_t> mins;
   std::map<Value, int64_t> maxs;
@@ -293,7 +344,14 @@ struct RunningAgg {
         return Value::Int(count);
       case AggFunc::kSum:
         if (count == 0) return Value::Null();
-        return n_nonint == 0 ? Value::Int(isum) : Value::Double(dsum);
+        if (n_nonint == 0 &&
+            isum >= static_cast<__int128>(
+                        std::numeric_limits<int64_t>::min()) &&
+            isum <= static_cast<__int128>(
+                        std::numeric_limits<int64_t>::max())) {
+          return Value::Int(static_cast<int64_t>(isum));
+        }
+        return Value::Double(dsum);
       case AggFunc::kAvg:
         if (count == 0) return Value::Null();
         return Value::Double(dsum / static_cast<double>(count));
@@ -312,7 +370,7 @@ Relation SplitAggregateRelation(const Relation& input,
                                 const std::vector<int>& group_cols,
                                 const std::vector<AggExpr>& aggs,
                                 bool gap_rows, const TimeDomain& domain,
-                                bool pre_aggregate) {
+                                bool pre_aggregate, const OpContext& ctx) {
   size_t nattr = NonTemporalArity(input, "SplitAggregate");
   // gap_rows with grouping emits full-domain coverage per *observed*
   // group (count 0 where the group is absent) -- Teradata-style grouped
@@ -334,9 +392,9 @@ Relation SplitAggregateRelation(const Relation& input,
   std::unordered_map<Row, size_t, RowHash, RowEq> cell_index;
   int64_t row_ordinal = 0;
   for (const Row& row : input.rows()) {
-    TimePoint b = TimeOf(row[nattr]);
-    TimePoint e = TimeOf(row[nattr + 1]);
-    if (b >= e) continue;
+    TimePoint b = 0;
+    TimePoint e = 0;
+    if (!DecodeRowInterval(row, nattr, &b, &e)) continue;
     Row group;
     group.reserve(group_cols.size());
     for (int c : group_cols) group.push_back(row[static_cast<size_t>(c)]);
@@ -372,8 +430,8 @@ Relation SplitAggregateRelation(const Relation& input,
 
   // Phase 2: per group, sweep partial endpoints maintaining running
   // aggregate state; each elementary fragment gets the finalized values.
-  Relation out(std::move(schema));
-  for (auto& [group, partials] : groups) {
+  auto sweep_group = [&](const Row& group, const std::vector<Partial>& partials,
+                         Relation& out) {
     // (time, is_close, partial index); closes and opens at equal time
     // are both applied before the next segment is emitted.
     std::vector<std::tuple<TimePoint, int, size_t>> events;
@@ -429,8 +487,35 @@ Relation SplitAggregateRelation(const Relation& input,
       have_prev = true;
     }
     if (gap_rows && prev < domain.tmax) emit(prev, domain.tmax);
+  };
+
+  // The per-group sweeps are independent; chunks of groups fan out to
+  // the pool exactly like the coalesce sweep.
+  std::vector<std::pair<const Row*, const std::vector<Partial>*>> ordered;
+  ordered.reserve(groups.size());
+  for (auto& [group, partials] : groups) {
+    ordered.emplace_back(&group, &partials);
   }
-  return out;
+  auto ranges = PlanChunks(ctx.num_threads(),
+                           static_cast<int64_t>(ordered.size()),
+                           /*min_grain=*/1);
+  if (ranges.size() <= 1) {
+    Relation out(std::move(schema));
+    for (auto& [group, partials] : ordered) sweep_group(*group, *partials, out);
+    return out;
+  }
+  std::vector<Relation> outs;
+  outs.reserve(ranges.size());
+  for (size_t c = 0; c < ranges.size(); ++c) outs.emplace_back(schema);
+  std::vector<ExecStats> chunk_stats(ranges.size());
+  RunChunks(ctx.pool->get(), ranges, [&](size_t c, int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      auto& [group, partials] = ordered[static_cast<size_t>(i)];
+      sweep_group(*group, *partials, outs[c]);
+    }
+    chunk_stats[c].parallel_tasks = 1;
+  });
+  return GatherChunks(std::move(outs), std::move(chunk_stats), ctx);
 }
 
 Relation TimesliceEncoded(const Relation& input, TimePoint t) {
@@ -439,6 +524,8 @@ Relation TimesliceEncoded(const Relation& input, TimePoint t) {
   for (const Row& row : input.rows()) {
     TimePoint b = TimeOf(row[nattr]);
     TimePoint e = TimeOf(row[nattr + 1]);
+    // Pure comparisons — no endpoint arithmetic, so the whole int64
+    // range (a TimeDomain touching INT64_MIN/INT64_MAX) is safe.
     if (b <= t && t < e) {
       out.AddRow(Row(row.begin(), row.begin() + static_cast<long>(nattr)));
     }

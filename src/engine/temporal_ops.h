@@ -16,6 +16,7 @@
 
 #include "common/status.h"
 #include "engine/agg.h"
+#include "engine/executor.h"
 #include "engine/expr.h"
 #include "engine/relation.h"
 #include "ra/plan.h"
@@ -28,18 +29,23 @@ namespace periodk {
 /// intervals, emitting `count` duplicates per maximal constant-count
 /// interval.  O(n log n) from the per-group endpoint sort; this is the
 /// "inside the database kernel" implementation the paper proposes.
-Relation CoalesceNative(const Relation& input);
+/// With a pool in `ctx` the per-group sweeps fan out to workers.
+Relation CoalesceNative(const Relation& input, const OpContext& ctx = {});
 
 /// SQL-style multiset coalescing via analytic window functions,
 /// mirroring the rewriting the paper's middleware ships to the backend
 /// (count open intervals per time point with a RANGE running sum,
 /// detect changepoints with LAG, close intervals with LEAD, keep
 /// maximal intervals with a filter).  Several sort passes, like the
-/// 2-7 sorting steps the paper observes across DBMSs.
+/// 2-7 sorting steps the paper observes across DBMSs.  Both coalesce
+/// implementations drop rows with an empty validity interval
+/// (begin >= end, annotation 0 everywhere) through the same decoding
+/// helper, so they cannot diverge on degenerate rows.
 Relation CoalesceWindow(const Relation& input);
 
 /// Dispatches on the requested implementation.
-Relation CoalesceRelation(const Relation& input, CoalesceImpl impl);
+Relation CoalesceRelation(const Relation& input, CoalesceImpl impl,
+                          const OpContext& ctx = {});
 
 /// N_G(left, right) (Def 8.3): splits every interval of `left` at all
 /// endpoint time points of G-group-mates in left UNION right.  Output
@@ -60,12 +66,18 @@ Relation SplitRelation(const Relation& left, const Relation& right,
 /// snapshot semantics has no gap rows for groups).
 /// `pre_aggregate = false` disables the pre-aggregation optimization
 /// (for the ablation benchmark): the sweep then treats every input row
-/// as its own partial.
+/// as its own partial.  With a pool in `ctx` the per-group endpoint
+/// sweeps fan out to workers.  Running integer sums are kept in 128-bit
+/// arithmetic: a fragment whose sum fits int64 finalizes as that exact
+/// integer even through transient overflow, and one that does not
+/// widens to the double sum — so aggregating endpoint-magnitude values
+/// (a TimeDomain touching INT64_MIN/INT64_MAX) is defined behavior.
 Relation SplitAggregateRelation(const Relation& input,
                                 const std::vector<int>& group_cols,
                                 const std::vector<AggExpr>& aggs,
                                 bool gap_rows, const TimeDomain& domain,
-                                bool pre_aggregate = true);
+                                bool pre_aggregate = true,
+                                const OpContext& ctx = {});
 
 /// tau_T over an encoded relation: rows whose interval contains t, with
 /// the two temporal columns dropped.

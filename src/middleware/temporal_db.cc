@@ -1,5 +1,7 @@
 #include "middleware/temporal_db.h"
 
+#include <utility>
+
 #include "common/str_util.h"
 #include "engine/temporal_ops.h"
 #include "sql/parser.h"
@@ -14,7 +16,8 @@ constexpr size_t kPlanCacheMaxEntries = 1024;
 
 /// Cache key for a (SQL text, rewrite options) pair.  Every option that
 /// changes the produced plan is part of the key, so plans cached under
-/// different options never alias.
+/// different options never alias.  num_threads is deliberately absent:
+/// it only changes how a plan executes, never the plan itself.
 std::string PlanCacheKey(const std::string& sql,
                          const RewriteOptions& options) {
   return StrCat(static_cast<int>(options.semantics),
@@ -32,12 +35,24 @@ std::string PlanCacheStats::ToString() const {
                 invalidations, " invalidations, ", entries, " entries");
 }
 
+// --- Writers.  All serialize on writer_mu_, build new table state
+// outside the reader lock, and publish with a brief exclusive lock so
+// readers only ever block for a pointer swap. -------------------------------
+
 Status TemporalDB::CreateTable(const std::string& name,
                                const std::vector<std::string>& columns) {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  // Reading catalog state without catalog_mu_ is safe here: only
+  // writers modify it and writer_mu_ serializes them.
   if (catalog_.Has(name)) {
     return Status::AlreadyExists(StrCat("table exists: ", name));
   }
-  catalog_.Put(name, Relation(Schema::FromNames(columns)));
+  Relation table{Schema::FromNames(columns)};
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    catalog_.Put(name, std::move(table));
+    ++catalog_generation_;
+  }
   InvalidatePlanCache();
   return Status::OK();
 }
@@ -57,9 +72,17 @@ Status TemporalDB::CreatePeriodTable(const std::string& name,
         StrCat("period columns (", begin_column, ", ", end_column,
                ") must be part of the schema"));
   }
-  Status status = CreateTable(name, columns);
-  if (!status.ok()) return status;
-  period_tables_[name] = sql::PeriodTableInfo{begin_column, end_column};
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  if (catalog_.Has(name)) {
+    return Status::AlreadyExists(StrCat("table exists: ", name));
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    catalog_.Put(name, Relation(std::move(schema)));
+    period_tables_[name] = sql::PeriodTableInfo{begin_column, end_column};
+    ++catalog_generation_;
+  }
+  InvalidatePlanCache();
   return Status::OK();
 }
 
@@ -77,48 +100,71 @@ Status TemporalDB::PutPeriodTable(const std::string& name, Relation relation,
         StrCat("period columns (", begin_column, ", ", end_column,
                ") must be part of the schema"));
   }
-  catalog_.Put(name, std::move(relation));
-  period_tables_[name] = sql::PeriodTableInfo{begin_column, end_column};
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    catalog_.Put(name, std::move(relation));
+    period_tables_[name] = sql::PeriodTableInfo{begin_column, end_column};
+    ++catalog_generation_;
+  }
   InvalidatePlanCache();
   return Status::OK();
 }
 
 Status TemporalDB::Insert(const std::string& table, Row row) {
-  Relation* relation = catalog_.GetMutable(table);
-  if (relation == nullptr) {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  if (!catalog_.Has(table)) {
     return Status::NotFound(StrCat("unknown table: ", table));
   }
-  if (row.size() != relation->schema().size()) {
+  std::shared_ptr<const Relation> current = catalog_.GetShared(table);
+  if (row.size() != current->schema().size()) {
     return Status::InvalidArgument(
         StrCat("arity mismatch inserting into ", table, ": got ", row.size(),
-               " values, expected ", relation->schema().size()));
+               " values, expected ", current->schema().size()));
   }
-  relation->AddRow(std::move(row));
+  // Copy-on-write outside the reader lock: pinned snapshots keep the
+  // old relation alive and untouched.
+  Relation next = *current;
+  next.AddRow(std::move(row));
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    catalog_.Put(table, std::move(next));
+    ++catalog_generation_;
+  }
   InvalidatePlanCache();
   return Status::OK();
 }
 
 Status TemporalDB::InsertRows(const std::string& table,
                               std::vector<Row> rows) {
-  Relation* relation = catalog_.GetMutable(table);
-  if (relation == nullptr) {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  if (!catalog_.Has(table)) {
     return Status::NotFound(StrCat("unknown table: ", table));
   }
+  std::shared_ptr<const Relation> current = catalog_.GetShared(table);
   // Validate every arity before any row lands: a bulk insert is atomic,
   // so a mid-batch mismatch must not leave the table half-populated.
   for (size_t i = 0; i < rows.size(); ++i) {
-    if (rows[i].size() != relation->schema().size()) {
+    if (rows[i].size() != current->schema().size()) {
       return Status::InvalidArgument(StrCat(
           "arity mismatch inserting into ", table, " at row ", i, ": got ",
-          rows[i].size(), " values, expected ", relation->schema().size()));
+          rows[i].size(), " values, expected ", current->schema().size()));
     }
   }
   if (rows.empty()) return Status::OK();
-  relation->Reserve(relation->size() + rows.size());
-  for (Row& row : rows) relation->AddRow(std::move(row));
+  Relation next = *current;
+  next.Reserve(next.size() + rows.size());
+  for (Row& row : rows) next.AddRow(std::move(row));
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    catalog_.Put(table, std::move(next));
+    ++catalog_generation_;
+  }
   InvalidatePlanCache();
   return Status::OK();
 }
+
+// --- Plan cache. -----------------------------------------------------------
 
 void TemporalDB::InvalidatePlanCache() {
   std::lock_guard<std::mutex> lock(plan_cache_mu_);
@@ -137,13 +183,26 @@ PlanCacheStats TemporalDB::plan_cache_stats() const {
 void TemporalDB::set_plan_cache_enabled(bool enabled) {
   std::lock_guard<std::mutex> lock(plan_cache_mu_);
   plan_cache_enabled_ = enabled;
+  // Disabling drops every entry: a bound plan from before the toggle
+  // must not resurface after re-enabling (the generation tag would
+  // already refuse to serve it across a mutation, but an explicit
+  // disable means "no cached state, period").
   if (!enabled) plan_cache_.clear();
 }
 
-Result<sql::BoundStatement> TemporalDB::BindSql(const std::string& sql) const {
+// --- Readers.  Every entry point pins one snapshot and runs entirely
+// against it. ---------------------------------------------------------------
+
+TemporalDB::Snapshot TemporalDB::PinSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  return Snapshot{catalog_, period_tables_, catalog_generation_};
+}
+
+Result<sql::BoundStatement> TemporalDB::BindSql(const std::string& sql,
+                                                const Snapshot& snap) const {
   Result<sql::Statement> parsed = sql::Parse(sql);
   if (!parsed.ok()) return parsed.status();
-  sql::Binder binder(&catalog_, &period_tables_);
+  sql::Binder binder(&snap.catalog, &snap.period_tables);
   return binder.Bind(*parsed);
 }
 
@@ -177,12 +236,9 @@ Result<PlanPtr> TemporalDB::PlanBound(const sql::BoundStatement& bound,
   }
 }
 
-Result<PlanPtr> TemporalDB::Plan(const std::string& sql) const {
-  return Plan(sql, options_);
-}
-
-Result<PlanPtr> TemporalDB::Plan(const std::string& sql,
-                                 const RewriteOptions& options) const {
+Result<PlanPtr> TemporalDB::PlanForSnapshot(const std::string& sql,
+                                            const RewriteOptions& options,
+                                            const Snapshot& snap) const {
   const std::string key = PlanCacheKey(sql, options);
   bool use_cache;
   {
@@ -190,26 +246,48 @@ Result<PlanPtr> TemporalDB::Plan(const std::string& sql,
     use_cache = plan_cache_enabled_;
     if (use_cache) {
       auto it = plan_cache_.find(key);
-      if (it != plan_cache_.end()) {
+      if (it != plan_cache_.end() &&
+          it->second.generation == snap.generation) {
         ++cache_stats_.hits;
-        return it->second;
+        return it->second.plan;
       }
       ++cache_stats_.misses;
     }
   }
   // Parse/bind/rewrite outside the lock: planning is the expensive part
-  // and touches no cache state.
-  Result<sql::BoundStatement> bound = BindSql(sql);
+  // and touches no cache state.  Failed statements are not cached: they
+  // carry no plan to reuse and an error may be transient (e.g. a table
+  // created later).
+  Result<sql::BoundStatement> bound = BindSql(sql, snap);
   if (!bound.ok()) return bound.status();
   Result<PlanPtr> plan = PlanBound(*bound, options);
-  // Failed statements are not cached: they carry no plan to reuse and
-  // an error may be transient (e.g. a table created later).
   if (use_cache && plan.ok()) {
     std::lock_guard<std::mutex> lock(plan_cache_mu_);
-    if (plan_cache_.size() >= kPlanCacheMaxEntries) plan_cache_.clear();
-    plan_cache_.emplace(key, *plan);
+    // Re-check the toggle: a disable while we planned means "cache
+    // nothing".  The generation tag carries the snapshot this plan is
+    // valid for, so an insert racing a catalog mutation is harmless —
+    // queries pinned to any other state simply miss.
+    if (plan_cache_enabled_) {
+      if (plan_cache_.size() >= kPlanCacheMaxEntries) plan_cache_.clear();
+      plan_cache_.insert_or_assign(key, CachedPlan{*plan, snap.generation});
+    }
   }
   return plan;
+}
+
+Result<PlanPtr> TemporalDB::Plan(const std::string& sql) const {
+  return Plan(sql, options_);
+}
+
+Result<PlanPtr> TemporalDB::Plan(const std::string& sql,
+                                 const RewriteOptions& options) const {
+  try {
+    return PlanForSnapshot(sql, options, PinSnapshot());
+  } catch (const std::exception& error) {
+    // Planning reports every failure as a Status; this is the backstop
+    // that keeps the no-throw middleware boundary airtight.
+    return Status::Internal(error.what());
+  }
 }
 
 Result<PlanPtr> TemporalDB::Prepare(const std::string& sql) const {
@@ -228,14 +306,19 @@ Result<std::string> TemporalDB::Explain(const std::string& sql) const {
 }
 
 Result<std::string> TemporalDB::ExplainAnalyze(const std::string& sql) const {
-  Result<PlanPtr> plan = Plan(sql, options_);
+  Snapshot snap = PinSnapshot();
+  Result<PlanPtr> plan = PlanForSnapshot(sql, options_, snap);
   if (!plan.ok()) return plan.status();
   try {
     ExecStats stats;
-    Relation result = Execute(*plan, catalog_, &stats);
+    ExecOptions exec;
+    exec.num_threads = options_.num_threads;
+    Relation result = Execute(*plan, snap.catalog, exec, &stats);
     return StrCat((*plan)->ToString(), stats.ToString(), "\n",
                   result.size(), " result rows\n");
-  } catch (const EngineError& error) {
+  } catch (const std::exception& error) {
+    // EngineError plus anything execution-adjacent (e.g. std::thread
+    // failing to spawn pool workers): the boundary never throws.
     return Status::Internal(error.what());
   }
 }
@@ -246,25 +329,31 @@ Result<Relation> TemporalDB::Query(const std::string& sql) const {
 
 Result<Relation> TemporalDB::Query(const std::string& sql,
                                    const RewriteOptions& options) const {
-  Result<PlanPtr> plan = Plan(sql, options);
+  Snapshot snap = PinSnapshot();
+  Result<PlanPtr> plan = PlanForSnapshot(sql, options, snap);
   if (!plan.ok()) return plan.status();
   try {
-    return Execute(*plan, catalog_);
-  } catch (const EngineError& error) {
+    ExecOptions exec;
+    exec.num_threads = options.num_threads;
+    return Execute(*plan, snap.catalog, exec);
+  } catch (const std::exception& error) {
+    // EngineError plus anything execution-adjacent (e.g. std::thread
+    // failing to spawn pool workers): the boundary never throws.
     return Status::Internal(error.what());
   }
 }
 
 Result<Relation> TemporalDB::Timeslice(const std::string& table,
                                        TimePoint t) const {
-  if (!catalog_.Has(table)) {
+  Snapshot snap = PinSnapshot();
+  if (!snap.catalog.Has(table)) {
     return Status::NotFound(StrCat("unknown table: ", table));
   }
-  auto it = period_tables_.find(table);
-  if (it == period_tables_.end()) {
+  auto it = snap.period_tables.find(table);
+  if (it == snap.period_tables.end()) {
     return Status::InvalidArgument(StrCat(table, " is not a period table"));
   }
-  const Relation& stored = catalog_.Get(table);
+  const Relation& stored = snap.catalog.Get(table);
   // Normalize the period columns into the trailing position, then slice.
   int begin_idx = stored.schema().Find("", it->second.begin_column);
   int end_idx = stored.schema().Find("", it->second.end_column);
@@ -278,9 +367,9 @@ Result<Relation> TemporalDB::Timeslice(const std::string& table,
   order.push_back(end_idx);
   try {
     Relation normalized =
-        Execute(MakeProjectColumns(MakeConstant(stored), order), catalog_);
+        Execute(MakeProjectColumns(MakeConstant(stored), order), snap.catalog);
     return TimesliceEncoded(normalized, t);
-  } catch (const EngineError& error) {
+  } catch (const std::exception& error) {
     return Status::Internal(error.what());
   }
 }

@@ -11,18 +11,31 @@
 //   auto result = db.Query(
 //       "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')");
 //
+// Concurrency model — snapshot isolation: the catalog stores immutable
+// relations behind shared_ptr<const Relation>.  Every read entry point
+// (Query/Plan/Prepare/Explain/ExplainAnalyze/Timeslice) pins a snapshot
+// — an O(#tables) copy of the handle map plus the period-table metadata
+// and a generation number, taken under a shared_mutex — and runs
+// entirely against that pinned state.  Writers (CreateTable /
+// CreatePeriodTable / PutPeriodTable / Insert / InsertRows) serialize
+// among themselves, build the mutated table copy-on-write *outside* the
+// reader lock, and publish it with a brief exclusive lock.  Any number
+// of concurrent readers therefore observe consistent snapshots while a
+// writer mutates; no external locking is needed.
+//
 // Serving path: executable plans are cached per (SQL text, rewrite
-// options), so a repeated Query() skips parse/bind/rewrite entirely.
-// Any catalog mutation (CreateTable / CreatePeriodTable / PutPeriodTable
-// / Insert / InsertRows) flushes the cache — plans can embed catalog
-// state (schemas, encoded-scan reorderings), so staleness is resolved
-// with whole-cache invalidation rather than per-table tracking.
+// options).  Each cache entry is tagged with the catalog generation its
+// plan was built against and is served only to queries pinned at that
+// same generation, so a plan raced by a catalog mutation (or by a
+// cache disable/re-enable toggle) can never be served stale — on top of
+// that, every mutation and every disable flushes the cache outright.
 #ifndef PERIODK_MIDDLEWARE_TEMPORAL_DB_H_
 #define PERIODK_MIDDLEWARE_TEMPORAL_DB_H_
 
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -49,14 +62,15 @@ class TemporalDB {
   explicit TemporalDB(TimeDomain domain, RewriteOptions options = {})
       : domain_(domain), options_(options) {}
 
-  /// Movable (the destination gets a fresh cache mutex); not copyable.
-  /// As with any mutex-holding type, moving while another thread uses
+  /// Movable (the destination gets fresh mutexes); not copyable.  As
+  /// with any mutex-holding type, moving while another thread uses
   /// `other` is undefined.
   TemporalDB(TemporalDB&& other) noexcept
       : domain_(other.domain_),
         options_(other.options_),
         catalog_(std::move(other.catalog_)),
         period_tables_(std::move(other.period_tables_)),
+        catalog_generation_(other.catalog_generation_),
         plan_cache_enabled_(other.plan_cache_enabled_),
         plan_cache_(std::move(other.plan_cache_)),
         cache_stats_(other.cache_stats_) {}
@@ -64,6 +78,8 @@ class TemporalDB {
 
   const TimeDomain& domain() const { return domain_; }
   const RewriteOptions& options() const { return options_; }
+  /// Not synchronized: configure options before sharing the instance
+  /// across threads (per-call options are the thread-safe alternative).
   void set_options(const RewriteOptions& options) { options_ = options; }
 
   /// Creates an ordinary (non-temporal) table.
@@ -78,18 +94,24 @@ class TemporalDB {
                            const std::string& begin_column,
                            const std::string& end_column);
 
-  /// Registers an existing relation as a period table (bulk load).
+  /// Registers an existing relation as a period table (bulk load);
+  /// replaces any previous table of that name atomically.
   Status PutPeriodTable(const std::string& name, Relation relation,
                         const std::string& begin_column,
                         const std::string& end_column);
 
+  /// Copy-on-write append: readers pinned to the old snapshot keep
+  /// seeing the table without the row.  O(table) per call — batch with
+  /// InsertRows when loading.
   Status Insert(const std::string& table, Row row);
   /// Bulk insert; atomic: every row's arity is validated before any row
   /// lands, so a failure leaves the table untouched.
   Status InsertRows(const std::string& table, std::vector<Row> rows);
 
-  /// Parses, binds, (for SEQ VT queries) rewrites, and executes.
-  /// Planning is served from the plan cache when possible.
+  /// Parses, binds, (for SEQ VT queries) rewrites, and executes against
+  /// a pinned catalog snapshot.  Planning is served from the plan cache
+  /// when possible; options.num_threads > 1 fans partitioned operators
+  /// out to a work-stealing pool.
   Result<Relation> Query(const std::string& sql) const;
   Result<Relation> Query(const std::string& sql,
                          const RewriteOptions& options) const;
@@ -101,7 +123,9 @@ class TemporalDB {
 
   /// Plans the statement and warms the plan cache (no execution);
   /// subsequent Query() calls with the same text and options are cache
-  /// hits until the next catalog mutation.
+  /// hits until the next catalog mutation.  Returns a Status for every
+  /// failure (unknown table, parse error, ...) — never throws across
+  /// the middleware boundary.
   Result<PlanPtr> Prepare(const std::string& sql) const;
   Result<PlanPtr> Prepare(const std::string& sql,
                           const RewriteOptions& options) const;
@@ -111,46 +135,120 @@ class TemporalDB {
   Result<std::string> Explain(const std::string& sql) const;
 
   /// EXPLAIN ANALYZE: executes the statement and appends the engine's
-  /// execution counters (nodes executed, memo hits, rows materialized).
+  /// execution counters (nodes executed, memo hits, rows materialized,
+  /// parallel tasks).
   Result<std::string> ExplainAnalyze(const std::string& sql) const;
 
   /// tau_T of a period table: its snapshot at time t.
   Result<Relation> Timeslice(const std::string& table, TimePoint t) const;
 
+  /// The live catalog.  Unsynchronized direct access for single-threaded
+  /// use (tests, benches); references obtained through it are
+  /// invalidated by the next mutation of the same table.  Concurrent
+  /// readers should go through Query()/Timeslice(), which pin snapshots.
   const Catalog& catalog() const { return catalog_; }
   bool IsPeriodTable(const std::string& name) const {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
     return period_tables_.count(name) > 0;
   }
 
   /// Plan-cache observability and control.  Disabling the cache (for
-  /// ablation/benchmarks) also stops it from filling.
+  /// ablation/benchmarks) also drops every existing entry, so a plan
+  /// bound before the toggle can never be served after re-enabling.
   PlanCacheStats plan_cache_stats() const;
   void set_plan_cache_enabled(bool enabled);
 
  private:
-  Result<sql::BoundStatement> BindSql(const std::string& sql) const;
+  /// An immutable view of the catalog pinned by one read operation: the
+  /// relation-handle map (shares table storage with the live catalog),
+  /// the period-table metadata, and the generation that identifies this
+  /// exact catalog state for plan-cache tagging.
+  struct Snapshot {
+    Catalog catalog;
+    std::map<std::string, sql::PeriodTableInfo> period_tables;
+    uint64_t generation = 0;
+  };
+  Snapshot PinSnapshot() const;
+
+  Result<sql::BoundStatement> BindSql(const std::string& sql,
+                                      const Snapshot& snap) const;
   Result<PlanPtr> PlanBound(const sql::BoundStatement& bound,
                             const RewriteOptions& options) const;
+  /// Plans against the pinned snapshot, consulting/warming the cache.
+  Result<PlanPtr> PlanForSnapshot(const std::string& sql,
+                                  const RewriteOptions& options,
+                                  const Snapshot& snap) const;
   /// Flushes cached plans after a successful catalog mutation.
   void InvalidatePlanCache();
 
   TimeDomain domain_;
   RewriteOptions options_;
+
+  // Catalog state.  catalog_mu_ orders readers (shared: snapshot pins)
+  // against publication (exclusive: pointer swaps only — writers build
+  // table copies outside it).  writer_mu_ serializes writers so
+  // copy-on-write never loses an update; it is always acquired before
+  // catalog_mu_.
+  mutable std::shared_mutex catalog_mu_;
+  std::mutex writer_mu_;
   Catalog catalog_;
   std::map<std::string, sql::PeriodTableInfo> period_tables_;
+  // Bumped under the exclusive lock on every publication; a pinned
+  // generation therefore names one exact catalog state.
+  uint64_t catalog_generation_ = 0;
 
   // Bound-plan cache, keyed by (SQL text, rewrite options).  Mutable:
   // Query()/Plan() are logically const; the cache is an optimization.
-  // All cache state is guarded by plan_cache_mu_ so concurrent reads
-  // (Query/Plan/Prepare on a shared const TemporalDB) stay safe; the
-  // catalog itself is NOT synchronized — reads concurrent with catalog
-  // mutations need external locking.  The cache is bounded (it restarts
-  // empty on overflow), so unboundedly many distinct statements cannot
-  // grow memory forever.
+  // All cache state is guarded by plan_cache_mu_.  Entries are tagged
+  // with the catalog generation their plan was built against and only
+  // served to queries pinned at the same generation — correctness does
+  // not depend on invalidation racing well with in-flight planners.
+  // The cache is bounded (it restarts empty on overflow), so
+  // unboundedly many distinct statements cannot grow memory forever.
+  struct CachedPlan {
+    PlanPtr plan;
+    uint64_t generation = 0;
+  };
   mutable std::mutex plan_cache_mu_;
   bool plan_cache_enabled_ = true;
-  mutable std::unordered_map<std::string, PlanPtr> plan_cache_;
+  mutable std::unordered_map<std::string, CachedPlan> plan_cache_;
   mutable PlanCacheStats cache_stats_;
+};
+
+/// Batches row-at-a-time producers into atomic InsertRows() calls.
+/// Insert() is copy-on-write per call — O(table) so that pinned reader
+/// snapshots stay untouched — which makes row-wise bulk loading
+/// quadratic; the loader buffers rows per table and ships each table's
+/// batch once at Flush().  Row order per table is preserved.
+class BulkLoader {
+ public:
+  explicit BulkLoader(TemporalDB* db) : db_(db) {}
+  /// Buffers one row; validation happens at Flush() (InsertRows checks
+  /// every arity before any row lands).
+  Status Insert(const std::string& table, Row row) {
+    pending_[table].push_back(std::move(row));
+    return Status::OK();
+  }
+  /// Ships every buffered batch; stops at the first failure.  Each
+  /// batch is erased from the buffer as it is handed to InsertRows —
+  /// whether it lands or fails — so a retrying Flush() never
+  /// double-inserts an already-shipped table and never reports success
+  /// for rows that were consumed by a failed batch.
+  Status Flush() {
+    while (!pending_.empty()) {
+      auto it = pending_.begin();
+      std::vector<Row> rows = std::move(it->second);
+      const std::string table = it->first;
+      pending_.erase(it);
+      Status status = db_->InsertRows(table, std::move(rows));
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+
+ private:
+  TemporalDB* db_;
+  std::map<std::string, std::vector<Row>> pending_;
 };
 
 }  // namespace periodk

@@ -59,6 +59,12 @@ struct RewriteOptions {
   /// Apply the final coalesce that makes the output encoding unique.
   bool final_coalesce = true;
   CoalesceImpl coalesce_impl = CoalesceImpl::kNative;
+  /// Intra-query parallelism for execution (not a rewrite knob, but
+  /// plumbed here so middleware callers configure one options struct):
+  /// partitioned operators fan out to this many threads; 1 keeps
+  /// execution sequential and bit-identical.  Does not change the
+  /// produced plan, so it is excluded from the plan-cache key.
+  int num_threads = 1;
 };
 
 class SnapshotRewriter {

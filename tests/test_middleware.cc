@@ -366,5 +366,61 @@ TEST(MiddlewareTest, AggregateExpressionOverAggregates) {
   EXPECT_TRUE(found);
 }
 
+TEST(MiddlewareTest, DisablingPlanCacheDropsExistingEntries) {
+  TemporalDB db = MakeExampleDB();
+  const char* sql = "SEQ VT (SELECT skill FROM works)";
+  ASSERT_TRUE(db.Prepare(sql).ok());
+  ASSERT_EQ(db.plan_cache_stats().entries, 1);
+  // The toggle must not leave a bound plan behind: a plan cached before
+  // a disable/mutate/enable sequence would otherwise be served stale.
+  db.set_plan_cache_enabled(false);
+  EXPECT_EQ(db.plan_cache_stats().entries, 0);
+  ASSERT_TRUE(db.Insert("works", {Value::Int(20), Value::String("Zoe"),
+                                  Value::String("SP"), Value::Int(22)})
+                  .ok());
+  db.set_plan_cache_enabled(true);
+  auto result = db.Query(sql);
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  for (const Row& row : result->rows()) {
+    if (row[0] == Value::String("SP") && row[1].AsInt() <= 20 &&
+        row[2].AsInt() >= 22) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << result->ToString();
+}
+
+TEST(MiddlewareTest, PrepareOnUnknownTableReturnsStatus) {
+  TemporalDB db = MakeExampleDB();
+  // Both the plain and the snapshot path must report the unknown table
+  // as a Status across the middleware boundary, never as an exception.
+  auto plain = db.Prepare("SELECT * FROM no_such_table");
+  EXPECT_FALSE(plain.ok());
+  auto snapshot = db.Prepare("SEQ VT (SELECT count(*) AS c FROM nope)");
+  EXPECT_FALSE(snapshot.ok());
+  // Failed statements are not cached, and the cache still works after.
+  EXPECT_EQ(db.plan_cache_stats().entries, 0);
+  auto ok = db.Prepare("SEQ VT (SELECT skill FROM works)");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(MiddlewareTest, QueryWithThreadCountMatchesSequential) {
+  TemporalDB db = MakeExampleDB();
+  const char* sql =
+      "SEQ VT (SELECT w.skill, count(*) AS cnt FROM works w, assign a "
+      "WHERE w.skill = a.skill GROUP BY w.skill)";
+  auto sequential = db.Query(sql);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+  RewriteOptions parallel = db.options();
+  parallel.num_threads = 4;
+  auto threaded = db.Query(sql, parallel);
+  ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+  EXPECT_TRUE(sequential->BagEquals(*threaded));
+  // num_threads is not part of the plan identity: the second query hit
+  // the plan cached by the first.
+  EXPECT_GE(db.plan_cache_stats().hits, 1);
+}
+
 }  // namespace
 }  // namespace periodk

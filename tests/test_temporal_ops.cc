@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.h"
 #include "rewrite/period_enc.h"
 #include "tests/running_example.h"
@@ -305,6 +307,178 @@ TEST(TimesliceTest, ExtractsSnapshot) {
   // Half-open semantics: end point excluded, begin included.
   EXPECT_EQ(TimesliceEncoded(works, 3).size(), 1u);
   EXPECT_EQ(TimesliceEncoded(works, 10).size(), 2u);
+}
+
+// --- Endpoint arithmetic at the int64 extremes.  A TimeDomain touching
+// INT64_MIN / INT64_MAX must flow through timeslice, split and the
+// gap-row synthesis without overflow (the sanitizer CI jobs turn any
+// regression here into a hard failure). ------------------------------------
+
+constexpr TimePoint kTimeMin = std::numeric_limits<int64_t>::min();
+constexpr TimePoint kTimeMax = std::numeric_limits<int64_t>::max();
+
+TEST(ExtremeDomainTest, TimesliceAtBothExtremes) {
+  Relation rel(Schema::FromNames({"v", "b", "e"}));
+  rel.AddRow({Value::Int(1), Value::Int(kTimeMin), Value::Int(kTimeMax)});
+  rel.AddRow({Value::Int(2), Value::Int(kTimeMin), Value::Int(kTimeMin + 1)});
+  rel.AddRow({Value::Int(3), Value::Int(kTimeMax - 1), Value::Int(kTimeMax)});
+  EXPECT_EQ(TimesliceEncoded(rel, kTimeMin).size(), 2u);
+  EXPECT_EQ(TimesliceEncoded(rel, kTimeMax - 1).size(), 2u);
+  EXPECT_EQ(TimesliceEncoded(rel, 0).size(), 1u);
+  // tmax itself is exclusive in every interval, so nothing is valid.
+  EXPECT_EQ(TimesliceEncoded(rel, kTimeMax).size(), 0u);
+}
+
+TEST(ExtremeDomainTest, SplitAtBothExtremes) {
+  Relation left(Schema::FromNames({"k", "b", "e"}));
+  left.AddRow({Value::Int(1), Value::Int(kTimeMin), Value::Int(kTimeMax)});
+  Relation right(Schema::FromNames({"k", "b", "e"}));
+  right.AddRow({Value::Int(1), Value::Int(-5), Value::Int(7)});
+  Relation out = SplitRelation(left, right, {0});
+  // The full-domain interval splits at -5 and 7 into three fragments.
+  Relation expect(left.schema());
+  expect.AddRow({Value::Int(1), Value::Int(kTimeMin), Value::Int(-5)});
+  expect.AddRow({Value::Int(1), Value::Int(-5), Value::Int(7)});
+  expect.AddRow({Value::Int(1), Value::Int(7), Value::Int(kTimeMax)});
+  EXPECT_TRUE(out.BagEquals(expect)) << out.ToString();
+}
+
+TEST(ExtremeDomainTest, GapRowSynthesisOverFullInt64Domain) {
+  Relation rel(Schema::FromNames({"v", "b", "e"}));
+  rel.AddRow({Value::Int(5), Value::Int(-3), Value::Int(4)});
+  std::vector<AggExpr> aggs{AggExpr{AggFunc::kCountStar, nullptr, "cnt"}};
+  TimeDomain full{kTimeMin, kTimeMax};
+  Relation out = SplitAggregateRelation(rel, {}, aggs, /*gap_rows=*/true,
+                                        full);
+  Relation expect(Schema::FromNames({"cnt", "a_begin", "a_end"}));
+  expect.AddRow({Value::Int(0), Value::Int(kTimeMin), Value::Int(-3)});
+  expect.AddRow({Value::Int(1), Value::Int(-3), Value::Int(4)});
+  expect.AddRow({Value::Int(0), Value::Int(4), Value::Int(kTimeMax)});
+  EXPECT_TRUE(out.BagEquals(expect)) << out.ToString();
+  // Empty input over the full domain: one all-gap row.
+  Relation empty(Schema::FromNames({"v", "b", "e"}));
+  Relation gap = SplitAggregateRelation(empty, {}, aggs, true, full);
+  ASSERT_EQ(gap.size(), 1u);
+  EXPECT_EQ(gap.rows()[0][1].AsInt(), kTimeMin);
+  EXPECT_EQ(gap.rows()[0][2].AsInt(), kTimeMax);
+}
+
+TEST(ExtremeDomainTest, RunningSumWidensInsteadOfOverflowing) {
+  // Two overlapping rows whose summed attribute is INT64_MAX-scale: the
+  // running sum in the overlap fragment cannot fit int64 and must widen
+  // to a double instead of wrapping (previously UB).
+  Relation rel(Schema::FromNames({"v", "b", "e"}));
+  rel.AddRow({Value::Int(kTimeMax - 1), Value::Int(0), Value::Int(10)});
+  rel.AddRow({Value::Int(kTimeMax - 2), Value::Int(5), Value::Int(15)});
+  std::vector<AggExpr> aggs{AggExpr{AggFunc::kSum, Col(0), "s"}};
+  TimeDomain domain{0, 20};
+  Relation out = SplitAggregateRelation(rel, {}, aggs, /*gap_rows=*/false,
+                                        domain);
+  ASSERT_EQ(out.size(), 3u);
+  bool saw_overlap = false;
+  for (const Row& row : out.rows()) {
+    TimePoint b = row[1].AsInt();
+    if (b == 5) {
+      // Overlap fragment [5, 10): the sum of both values, as a double.
+      ASSERT_EQ(row[0].type(), ValueType::kDouble);
+      EXPECT_NEAR(row[0].AsDouble(), 2.0 * 9.223372036854775e18, 1e7);
+      saw_overlap = true;
+    } else {
+      // Single-value fragments stay exact integers.
+      ASSERT_EQ(row[0].type(), ValueType::kInt);
+    }
+  }
+  EXPECT_TRUE(saw_overlap) << out.ToString();
+}
+
+TEST(ExtremeDomainTest, RunningSumStaysExactAfterTransientOverflow) {
+  // Three rows: the middle fragment transiently overflows int64, but
+  // once the huge values close again the remaining fragment must come
+  // back as the exact integer (the 128-bit running sum never loses it).
+  Relation rel(Schema::FromNames({"v", "b", "e"}));
+  rel.AddRow({Value::Int(kTimeMax - 1), Value::Int(0), Value::Int(10)});
+  rel.AddRow({Value::Int(kTimeMax - 2), Value::Int(0), Value::Int(10)});
+  rel.AddRow({Value::Int(42), Value::Int(10), Value::Int(20)});
+  std::vector<AggExpr> aggs{AggExpr{AggFunc::kSum, Col(0), "s"}};
+  TimeDomain domain{0, 30};
+  Relation out = SplitAggregateRelation(rel, {}, aggs, /*gap_rows=*/false,
+                                        domain);
+  ASSERT_EQ(out.size(), 2u);
+  for (const Row& row : out.rows()) {
+    if (row[1].AsInt() == 10) {
+      ASSERT_EQ(row[0].type(), ValueType::kInt) << out.ToString();
+      EXPECT_EQ(row[0].AsInt(), 42);
+    }
+  }
+}
+
+TEST(ExtremeDomainTest, PlainAggregateSumWidensOnOverflow) {
+  AggState state;
+  state.Accumulate(Value::Int(kTimeMax - 1));
+  state.Accumulate(Value::Int(kTimeMax - 2));
+  Value sum = state.Finalize(AggFunc::kSum, 2);
+  ASSERT_EQ(sum.type(), ValueType::kDouble);
+  EXPECT_NEAR(sum.AsDouble(), 2.0 * 9.223372036854775e18, 1e7);
+  // Merge-side overflow widens too (the parallel aggregation path).
+  AggState a;
+  a.Accumulate(Value::Int(kTimeMax - 1));
+  AggState b;
+  b.Accumulate(Value::Int(kTimeMax - 2));
+  a.Merge(b);
+  EXPECT_EQ(a.Finalize(AggFunc::kSum, 2).type(), ValueType::kDouble);
+}
+
+TEST(ExtremeDomainTest, CoalesceBothImplsAtBothExtremes) {
+  Relation rel(Schema::FromNames({"k", "b", "e"}));
+  rel.AddRow({Value::Int(1), Value::Int(kTimeMin), Value::Int(0)});
+  rel.AddRow({Value::Int(1), Value::Int(0), Value::Int(kTimeMax)});
+  rel.AddRow({Value::Int(1), Value::Int(kTimeMax), Value::Int(kTimeMax)});
+  Relation native = CoalesceNative(rel);
+  Relation window = CoalesceWindow(rel);
+  Relation expect(rel.schema());
+  expect.AddRow({Value::Int(1), Value::Int(kTimeMin), Value::Int(kTimeMax)});
+  EXPECT_TRUE(native.BagEquals(expect)) << native.ToString();
+  EXPECT_TRUE(window.BagEquals(expect)) << window.ToString();
+}
+
+// --- Native vs window coalescing on degenerate inputs: both must drop
+// empty intervals (begin >= end) identically.  Randomized equivalence
+// over inputs dense in empty, touching and duplicate intervals. ------------
+
+TEST(CoalesceEquivalenceTest, DegenerateRowsWithBeginEqualEnd) {
+  Relation rel(Schema::FromNames({"k", "b", "e"}));
+  rel.AddRow({Value::Int(1), Value::Int(2), Value::Int(2)});  // empty
+  rel.AddRow({Value::Int(1), Value::Int(1), Value::Int(2)});
+  rel.AddRow({Value::Int(1), Value::Int(2), Value::Int(3)});  // touching
+  rel.AddRow({Value::Int(1), Value::Int(5), Value::Int(4)});  // reversed
+  rel.AddRow({Value::Int(2), Value::Int(7), Value::Int(7)});  // group of empties
+  Relation native = CoalesceNative(rel);
+  Relation window = CoalesceWindow(rel);
+  Relation expect(rel.schema());
+  expect.AddRow({Value::Int(1), Value::Int(1), Value::Int(3)});
+  EXPECT_TRUE(native.BagEquals(expect)) << native.ToString();
+  EXPECT_TRUE(window.BagEquals(expect)) << window.ToString();
+}
+
+TEST(CoalesceEquivalenceTest, RandomizedWithEmptyAndTouchingIntervals) {
+  Rng rng(20260731);
+  for (int iter = 0; iter < 400; ++iter) {
+    Relation rel(Schema::FromNames({"k", "b", "e"}));
+    int n = static_cast<int>(rng.Uniform(8)) + 1;
+    for (int i = 0; i < n; ++i) {
+      // Endpoints from a tiny pool so empty (b == e), reversed, touching
+      // and duplicate intervals are all frequent.
+      TimePoint b = rng.Range(0, 6);
+      TimePoint e = rng.Chance(0.3) ? b : rng.Range(0, 6);
+      rel.AddRow({Value::Int(rng.Range(0, 2)), Value::Int(b), Value::Int(e)});
+    }
+    Relation native = CoalesceNative(rel);
+    Relation window = CoalesceWindow(rel);
+    ASSERT_TRUE(native.BagEquals(window))
+        << "iter " << iter << "\ninput:\n" << rel.ToString()
+        << "native:\n" << native.ToString()
+        << "window:\n" << window.ToString();
+  }
 }
 
 }  // namespace
