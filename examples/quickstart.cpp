@@ -80,5 +80,20 @@ int main() {
     std::printf("  %s (%s)\n", row[0].ToString().c_str(),
                 row[1].ToString().c_str());
   }
+
+  // AS OF: any snapshot query evaluated at one instant (tau_T of the
+  // SEQ VT result; served from the timeline index).  The result is an
+  // ordinary non-temporal relation.
+  std::printf("\nHow many SP workers are on duty at 08:00?\n");
+  auto at8cnt =
+      db.Query("SEQ VT AS OF 8 (SELECT count(*) AS cnt FROM works "
+               "WHERE skill = 'SP')");
+  if (!at8cnt.ok()) {
+    std::fprintf(stderr, "error: %s\n", at8cnt.status().ToString().c_str());
+    return 1;
+  }
+  for (const Row& row : at8cnt->rows()) {
+    std::printf("  cnt = %s\n", row[0].ToString().c_str());
+  }
   return 0;
 }

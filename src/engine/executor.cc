@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "engine/interval_join.h"
 #include "engine/temporal_ops.h"
+#include "engine/timeline_index.h"
 
 namespace periodk {
 
@@ -35,6 +36,12 @@ std::vector<std::string> Catalog::TableNames() const {
   names.reserve(tables_.size());
   for (const auto& [name, rel] : tables_) names.push_back(name);
   return names;
+}
+
+std::shared_ptr<const TimelineIndex> Catalog::GetIndex(
+    const std::string& name) const {
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : it->second;
 }
 
 namespace {
@@ -295,8 +302,12 @@ Relation ExecSort(const Plan& plan, Relation input) {
 class ExecutionContext {
  public:
   ExecutionContext(const Catalog& catalog, ExecStats* stats, bool memoize,
-                   LazyThreadPool* pool)
-      : catalog_(catalog), stats_(stats), memoize_(memoize), pool_(pool) {}
+                   LazyThreadPool* pool, bool use_timeline_index)
+      : catalog_(catalog),
+        stats_(stats),
+        memoize_(memoize),
+        pool_(pool),
+        use_timeline_index_(use_timeline_index) {}
 
   RelHandle Run(const PlanPtr& plan) {
     if (memoize_) CountConsumers(plan);
@@ -396,9 +407,25 @@ class ExecutionContext {
         return Own(SplitAggregateRelation(
             *ExecuteNode(plan->left), plan->split_group, plan->aggs,
             plan->gap_rows, plan->domain, plan->pre_aggregate, Ctx()));
-      case PlanKind::kTimeslice:
-        return Own(TimesliceEncoded(*ExecuteNode(plan->left),
-                                    plan->slice_time));
+      case PlanKind::kTimeslice: {
+        // Executing the child keeps the memo's consumer bookkeeping
+        // exact and, for scans, is a zero-copy handle share anyway.
+        RelHandle in = ExecuteNode(plan->left);
+        if (use_timeline_index_ && plan->left->kind == PlanKind::kScan) {
+          std::shared_ptr<const TimelineIndex> index =
+              catalog_.GetIndex(plan->left->table);
+          // Trust the index only if it was built from this exact
+          // relation object (writers publish copy-on-write, so a stale
+          // index fails the pointer check) over the trailing endpoint
+          // columns kTimeslice's encoded-input invariant requires.
+          if (index != nullptr && index->BuiltFor(in.get()) &&
+              index->ColumnsAreTrailing()) {
+            if (stats_ != nullptr) ++stats_->index_timeslices;
+            return Own(index->Timeslice(plan->slice_time));
+          }
+        }
+        return Own(TimesliceEncoded(*in, plan->slice_time));
+      }
     }
     throw EngineError("unknown plan kind");
   }
@@ -407,6 +434,7 @@ class ExecutionContext {
   ExecStats* stats_;
   bool memoize_;
   LazyThreadPool* pool_;
+  bool use_timeline_index_;
   // Requests not yet served per node; nodes starting > 1 are shared.
   std::unordered_map<const Plan*, int> consumers_left_;
   // Results of shared nodes awaiting their remaining consumers.
@@ -438,13 +466,15 @@ void ExecStats::Merge(const ExecStats& other) {
   memo_hits += other.memo_hits;
   rows_materialized += other.rows_materialized;
   parallel_tasks += other.parallel_tasks;
+  index_timeslices += other.index_timeslices;
 }
 
 std::string ExecStats::ToString() const {
   return StrCat("nodes executed: ", nodes_executed,
                 ", memo hits: ", memo_hits,
                 ", rows materialized: ", rows_materialized,
-                ", parallel tasks: ", parallel_tasks);
+                ", parallel tasks: ", parallel_tasks,
+                ", index timeslices: ", index_timeslices);
 }
 
 Relation Execute(const PlanPtr& plan, const Catalog& catalog,
@@ -454,7 +484,8 @@ Relation Execute(const PlanPtr& plan, const Catalog& catalog,
   // num_threads settings.
   LazyThreadPool pool(options.num_threads);
   ExecutionContext context(catalog, stats, options.memoize,
-                           options.num_threads > 1 ? &pool : nullptr);
+                           options.num_threads > 1 ? &pool : nullptr,
+                           options.use_timeline_index);
   return Materialize(context.Run(plan));
 }
 

@@ -38,12 +38,17 @@
 namespace periodk {
 
 class LazyThreadPool;
+class TimelineIndex;
 
 class Catalog {
  public:
   void Put(const std::string& name, Relation relation) {
     tables_.insert_or_assign(
         name, std::make_shared<const Relation>(std::move(relation)));
+    // Writers invalidate like they publish: replacing the relation
+    // drops its timeline index (a stale index would also be rejected by
+    // TimelineIndex::BuiltFor, but dropping it here frees the memory).
+    indexes_.erase(name);
   }
   bool Has(const std::string& name) const { return tables_.count(name) > 0; }
   const Relation& Get(const std::string& name) const;
@@ -53,10 +58,24 @@ class Catalog {
   std::shared_ptr<const Relation> GetShared(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
+  /// Attaches an immutable timeline index to a table.  The index should
+  /// be built from the table's current relation object (BuiltFor);
+  /// consumers verify that before trusting it, so attaching a
+  /// mismatched index degrades to the scan path instead of corrupting
+  /// results.  Like relations, index handles are shared by catalog
+  /// copies and replaced — never mutated — in place.
+  void PutIndex(const std::string& name,
+                std::shared_ptr<const TimelineIndex> index) {
+    indexes_.insert_or_assign(name, std::move(index));
+  }
+  /// The table's timeline index, or nullptr when none is attached.
+  std::shared_ptr<const TimelineIndex> GetIndex(const std::string& name) const;
+
  private:
   // Copying the map copies shared_ptrs, not relations: a Catalog copy is
-  // an immutable snapshot of the whole database.
+  // an immutable snapshot of the whole database (indexes included).
   std::map<std::string, std::shared_ptr<const Relation>> tables_;
+  std::map<std::string, std::shared_ptr<const TimelineIndex>> indexes_;
 };
 
 /// Per-execution counters, for tests and EXPLAIN ANALYZE-style output.
@@ -75,6 +94,9 @@ struct ExecStats {
   /// Partition chunks executed on the thread pool (0 in sequential
   /// runs: the single-chunk path never touches the pool).
   int64_t parallel_tasks = 0;
+  /// kTimeslice nodes answered from a timeline index instead of the
+  /// O(table) scan (shown by TemporalDB::ExplainAnalyze as index hits).
+  int64_t index_timeslices = 0;
 
   void Merge(const ExecStats& other);
   std::string ToString() const;
@@ -90,6 +112,13 @@ struct ExecOptions {
   /// execution on the calling thread and bit-identical to the
   /// pre-parallel executor.
   int num_threads = 1;
+  /// Route kTimeslice-over-kScan through the table's TimelineIndex when
+  /// the catalog carries a current one (checkpoint lookup + bounded
+  /// replay instead of an O(table) scan).  The indexed result is
+  /// row-identical — same rows, same order — to the scan path; false is
+  /// the num_threads-style bit-identical fallback that never consults
+  /// an index.
+  bool use_timeline_index = true;
 };
 
 /// What an operator needs from its execution context: the pool to fan

@@ -1,0 +1,190 @@
+#include "engine/timeline_index.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace periodk {
+
+namespace {
+
+/// Replay state shared by the point-lookup paths: the rows whose begin
+/// (added) or end (removed) events fall between the checkpoint and the
+/// query position.  Both lists hold at most checkpoint_interval - 1
+/// entries.
+struct Replay {
+  std::vector<uint32_t> added;    // sorted ascending
+  std::vector<uint32_t> removed;  // sorted ascending
+
+  bool Removed(uint32_t row) const {
+    return std::binary_search(removed.begin(), removed.end(), row);
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const TimelineIndex> TimelineIndex::Build(
+    std::shared_ptr<const Relation> source, int64_t checkpoint_interval) {
+  if (source == nullptr || source->schema().size() < 2) return nullptr;
+  int n = static_cast<int>(source->schema().size());
+  return Build(std::move(source), n - 2, n - 1, checkpoint_interval);
+}
+
+std::shared_ptr<const TimelineIndex> TimelineIndex::Build(
+    std::shared_ptr<const Relation> source, int begin_col, int end_col,
+    int64_t checkpoint_interval) {
+  if (source == nullptr) return nullptr;
+  int arity = static_cast<int>(source->schema().size());
+  if (begin_col < 0 || end_col < 0 || begin_col >= arity ||
+      end_col >= arity || begin_col == end_col) {
+    return nullptr;
+  }
+  if (checkpoint_interval < 1) {
+    checkpoint_interval = kDefaultCheckpointInterval;
+  }
+  auto index = std::shared_ptr<TimelineIndex>(new TimelineIndex());
+  index->source_ = source;
+  index->begin_col_ = begin_col;
+  index->end_col_ = end_col;
+  index->checkpoint_interval_ = checkpoint_interval;
+  for (int c = 0; c < arity; ++c) {
+    if (c == begin_col || c == end_col) continue;
+    index->keep_cols_.push_back(c);
+    index->out_schema_.Append(source->schema().at(static_cast<size_t>(c)));
+  }
+
+  const std::vector<Row>& rows = source->rows();
+  index->events_.reserve(rows.size() * 2);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Value& bv = rows[i][static_cast<size_t>(begin_col)];
+    const Value& ev = rows[i][static_cast<size_t>(end_col)];
+    // The scan path (TimesliceEncoded) throws on non-integer endpoints;
+    // an index would silently skip them, so it refuses to build and the
+    // caller keeps the scan path's behavior.
+    if (bv.type() != ValueType::kInt || ev.type() != ValueType::kInt) {
+      return nullptr;
+    }
+    TimePoint b = bv.AsInt();
+    TimePoint e = ev.AsInt();
+    if (b >= e) continue;  // empty validity: never alive, like the scan
+    uint32_t row = static_cast<uint32_t>(i);
+    index->events_.push_back(Event{b, row, /*is_end=*/false});
+    index->events_.push_back(Event{e, row, /*is_end=*/true});
+  }
+  std::sort(index->events_.begin(), index->events_.end(),
+            [](const Event& a, const Event& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.is_end != b.is_end) return !a.is_end;
+              return a.row < b.row;
+            });
+
+  index->event_times_.reserve(index->events_.size());
+  std::set<uint32_t> alive;
+  size_t k = static_cast<size_t>(checkpoint_interval);
+  index->checkpoints_.reserve(index->events_.size() / k + 1);
+  index->checkpoints_.emplace_back();  // checkpoint 0: nothing alive
+  for (size_t i = 0; i < index->events_.size(); ++i) {
+    const Event& event = index->events_[i];
+    index->event_times_.push_back(event.time);
+    if (!event.is_end) {
+      alive.insert(event.row);
+      index->begin_times_.push_back(event.time);
+      index->begin_rows_.push_back(event.row);
+    } else {
+      alive.erase(event.row);
+    }
+    if ((i + 1) % k == 0) {
+      index->checkpoints_.emplace_back(alive.begin(), alive.end());
+    }
+  }
+  return index;
+}
+
+bool TimelineIndex::ColumnsAreTrailing() const {
+  int arity = static_cast<int>(keep_cols_.size()) + 2;
+  return begin_col_ == arity - 2 && end_col_ == arity - 1;
+}
+
+/// Positions the replay window for time t: base is the checkpoint at or
+/// below the event position, and `replay` collects the window's begin /
+/// end rows.  A row cannot be removed and later re-added within one
+/// window (each row has exactly one begin and one end event), so the
+/// alive set at t is exactly
+///   { r in base : r not removed } union { r added : r not removed }.
+std::vector<uint32_t> TimelineIndex::AliveAt(TimePoint t) const {
+  // Events with time <= t are applied; upper_bound gives their count.
+  size_t pos = static_cast<size_t>(
+      std::upper_bound(event_times_.begin(), event_times_.end(), t) -
+      event_times_.begin());
+  size_t k = static_cast<size_t>(checkpoint_interval_);
+  size_t c = pos / k;
+  const std::vector<uint32_t>& base = checkpoints_[c];
+  Replay replay;
+  for (size_t i = c * k; i < pos; ++i) {
+    const Event& event = events_[i];
+    if (event.is_end) {
+      replay.removed.push_back(event.row);
+    } else {
+      replay.added.push_back(event.row);
+    }
+  }
+  std::sort(replay.added.begin(), replay.added.end());
+  std::sort(replay.removed.begin(), replay.removed.end());
+
+  std::vector<uint32_t> out;
+  out.reserve(base.size() + replay.added.size());
+  // Merge the two disjoint sorted lists (base rows began at or before
+  // the checkpoint, added rows after it), skipping removed rows.
+  size_t bi = 0;
+  size_t ai = 0;
+  while (bi < base.size() || ai < replay.added.size()) {
+    uint32_t next;
+    if (ai >= replay.added.size() ||
+        (bi < base.size() && base[bi] < replay.added[ai])) {
+      next = base[bi++];
+    } else {
+      next = replay.added[ai++];
+    }
+    if (!replay.removed.empty() && replay.Removed(next)) continue;
+    out.push_back(next);
+  }
+  return out;
+}
+
+std::vector<uint32_t> TimelineIndex::AliveInRange(TimePoint b,
+                                                  TimePoint e) const {
+  if (b >= e) return {};
+  // A row overlaps [b, e) iff begin < e and end > b.  Rows with
+  // begin <= b are overlapping iff alive at b; the rest start inside
+  // (b, e).  The two sets are disjoint, so one sorted merge suffices.
+  std::vector<uint32_t> alive = AliveAt(b);
+  auto lo = std::upper_bound(begin_times_.begin(), begin_times_.end(), b);
+  auto hi = std::lower_bound(begin_times_.begin(), begin_times_.end(), e);
+  std::vector<uint32_t> started(
+      begin_rows_.begin() + (lo - begin_times_.begin()),
+      begin_rows_.begin() + (hi - begin_times_.begin()));
+  std::sort(started.begin(), started.end());
+
+  std::vector<uint32_t> out;
+  out.reserve(alive.size() + started.size());
+  std::merge(alive.begin(), alive.end(), started.begin(), started.end(),
+             std::back_inserter(out));
+  return out;
+}
+
+Relation TimelineIndex::Timeslice(TimePoint t) const {
+  std::vector<uint32_t> alive = AliveAt(t);
+  Relation out(out_schema_);
+  out.Reserve(alive.size());
+  const std::vector<Row>& rows = source_->rows();
+  for (uint32_t r : alive) {
+    const Row& row = rows[r];
+    Row projected;
+    projected.reserve(keep_cols_.size());
+    for (int c : keep_cols_) projected.push_back(row[static_cast<size_t>(c)]);
+    out.AddRow(std::move(projected));
+  }
+  return out;
+}
+
+}  // namespace periodk

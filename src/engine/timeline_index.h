@@ -1,0 +1,134 @@
+// TimelineIndex: a checkpointed timeline index over one PERIODENC
+// relation, in the spirit of the Timeline Index of Kaufmann et al.
+// (SIGMOD 2013) and of the endpoint-sorted sweep structures the
+// interval-overlap join already uses.  It turns the timeslice operator
+// tau_T (paper Sec. 5.1, Def 6.2) — an O(table) scan per query in
+// `TimesliceEncoded` — into a binary search over a global event list
+// plus a bounded replay:
+//
+//   * every valid row [b, e) contributes a begin event at b and an end
+//     event at e; events are globally sorted by time;
+//   * every `checkpoint_interval` (K) events, the index stores a
+//     checkpoint: the sorted set of row ids alive after applying the
+//     events so far;
+//   * Timeslice(t) binary-searches the number of events with time <= t,
+//     starts from the nearest checkpoint at or below that position, and
+//     replays at most K - 1 endpoint events.
+//
+// The index is immutable and tied to the exact Relation object it was
+// built from (writers publish new Relation objects copy-on-write, so a
+// stale index can always be detected by pointer identity — see
+// `BuiltFor`).  The executor routes kTimeslice-over-kScan through it
+// when the catalog carries one (ExecOptions::use_timeline_index), and
+// the middleware builds it lazily on the first indexed read.
+#ifndef PERIODK_ENGINE_TIMELINE_INDEX_H_
+#define PERIODK_ENGINE_TIMELINE_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/relation.h"
+#include "engine/schema.h"
+#include "temporal/interval.h"
+
+namespace periodk {
+
+class TimelineIndex {
+ public:
+  /// Default events-per-checkpoint.  Checkpoints cost
+  /// O(avg alive set) memory each; K = 64 keeps replay short while the
+  /// checkpoint storage stays well below the table itself for
+  /// short-interval workloads.
+  static constexpr int64_t kDefaultCheckpointInterval = 64;
+
+  /// Builds the index over the trailing two (a_begin, a_end) columns of
+  /// `source` — the PERIODENC invariant position.  Returns nullptr when
+  /// the index cannot represent the relation exactly: fewer than two
+  /// columns, or any row whose endpoint values are not integers (the
+  /// scan path throws on such rows, so callers must fall back to it).
+  /// Rows with an empty validity interval (begin >= end) are indexed as
+  /// never alive, exactly like the scan path treats them.
+  /// Complexity: O(n log n) time, O(n + checkpoints) space.
+  /// Thread-safety: Build is a pure function; the returned index is
+  /// immutable and safe to share across threads.
+  static std::shared_ptr<const TimelineIndex> Build(
+      std::shared_ptr<const Relation> source,
+      int64_t checkpoint_interval = kDefaultCheckpointInterval);
+
+  /// As above with explicit endpoint columns (used by
+  /// TemporalDB::Timeslice for period tables whose interval columns are
+  /// stored away from the trailing position).  Preconditions:
+  /// 0 <= begin_col, end_col < arity and begin_col != end_col.
+  static std::shared_ptr<const TimelineIndex> Build(
+      std::shared_ptr<const Relation> source, int begin_col, int end_col,
+      int64_t checkpoint_interval = kDefaultCheckpointInterval);
+
+  /// True iff the index was built from exactly this Relation object.
+  /// Catalog mutations publish new Relation objects (copy-on-write), so
+  /// pointer identity proves the index is current.
+  bool BuiltFor(const Relation* relation) const {
+    return source_.get() == relation;
+  }
+
+  /// True iff the indexed endpoint columns are the trailing two — the
+  /// only layout kTimeslice's encoded-input invariant permits, and
+  /// therefore a precondition for the executor to use this index.
+  bool ColumnsAreTrailing() const;
+
+  int begin_col() const { return begin_col_; }
+  int end_col() const { return end_col_; }
+  int64_t checkpoint_interval() const { return checkpoint_interval_; }
+  size_t num_events() const { return events_.size(); }
+  size_t num_checkpoints() const { return checkpoints_.size(); }
+
+  /// Row ids (ascending) of rows alive at t: begin <= t < end.  Pure
+  /// comparisons — any int64 t is safe, including domain bounds.
+  /// Complexity: O(log #events + K + |result|).
+  std::vector<uint32_t> AliveAt(TimePoint t) const;
+
+  /// Row ids (ascending) of rows whose interval overlaps [b, e):
+  /// begin < e and end > b.  Empty when b >= e.  Yields the pre-sorted
+  /// candidate list an endpoint sweep (interval join, coalesce) can
+  /// consume in place of sorting a full scan; the operators themselves
+  /// do not consult it yet (ROADMAP item — they run over arbitrary
+  /// intermediates, not just indexed base tables).
+  /// Complexity: O(log #events + K + |result| log |result|).
+  std::vector<uint32_t> AliveInRange(TimePoint b, TimePoint e) const;
+
+  /// Materialized tau_t: the alive rows with the two endpoint columns
+  /// dropped, in source row order — result rows are identical, in
+  /// identical order, to `TimesliceEncoded(source, t)`.
+  Relation Timeslice(TimePoint t) const;
+
+ private:
+  TimelineIndex() = default;
+
+  struct Event {
+    TimePoint time = 0;
+    uint32_t row = 0;
+    bool is_end = false;  // tie-break only; any order at equal t works
+  };
+
+  std::shared_ptr<const Relation> source_;
+  int begin_col_ = 0;
+  int end_col_ = 0;
+  int64_t checkpoint_interval_ = kDefaultCheckpointInterval;
+  Schema out_schema_;          // source schema minus the endpoint columns
+  std::vector<int> keep_cols_;  // source column ids of out_schema_
+  // Globally sorted by (time, is_end, row); event_times_ mirrors the
+  // times for branch-free binary search.
+  std::vector<Event> events_;
+  std::vector<TimePoint> event_times_;
+  // checkpoints_[c] = sorted row ids alive after the first
+  // c * checkpoint_interval_ events (checkpoints_[0] is empty).
+  std::vector<std::vector<uint32_t>> checkpoints_;
+  // Begin events only, sorted by time, for AliveInRange's "starts
+  // within [b, e)" lookup.
+  std::vector<TimePoint> begin_times_;
+  std::vector<uint32_t> begin_rows_;
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_ENGINE_TIMELINE_INDEX_H_

@@ -4,6 +4,7 @@
 
 #include "common/str_util.h"
 #include "engine/temporal_ops.h"
+#include "engine/timeline_index.h"
 #include "sql/parser.h"
 
 namespace periodk {
@@ -25,8 +26,10 @@ std::string PlanCacheKey(const std::string& sql,
                 static_cast<int>(options.fuse_aggregation),
                 static_cast<int>(options.pre_aggregate),
                 static_cast<int>(options.final_coalesce),
-                static_cast<int>(options.coalesce_impl), "|", sql);
+                static_cast<int>(options.coalesce_impl),
+                static_cast<int>(options.push_down_timeslice), "|", sql);
 }
+
 
 }  // namespace
 
@@ -198,6 +201,58 @@ TemporalDB::Snapshot TemporalDB::PinSnapshot() const {
   return Snapshot{catalog_, period_tables_, catalog_generation_};
 }
 
+std::shared_ptr<const TimelineIndex> TemporalDB::EnsureTimelineIndex(
+    const std::string& table, int begin_col, int end_col,
+    Snapshot& snap) const {
+  std::shared_ptr<const Relation> relation = snap.catalog.GetShared(table);
+  std::shared_ptr<const TimelineIndex> index = snap.catalog.GetIndex(table);
+  if (index != nullptr && index->BuiltFor(relation.get()) &&
+      index->begin_col() == begin_col && index->end_col() == end_col) {
+    return index;
+  }
+  index = TimelineIndex::Build(relation, begin_col, end_col);
+  if (index == nullptr) return nullptr;  // unindexable: scan path decides
+  snap.catalog.PutIndex(table, index);
+  {
+    // Publish back to the live catalog, double-checked under the
+    // generation tag: only while the catalog still is the exact state
+    // the index was built against.  If another reader raced its own
+    // build in first, keep that one — the two are interchangeable.
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    if (catalog_generation_ == snap.generation &&
+        catalog_.GetIndex(table) == nullptr) {
+      catalog_.PutIndex(table, index);
+    }
+  }
+  return index;
+}
+
+void TemporalDB::EnsureTimelineIndexes(const PlanPtr& plan,
+                                       Snapshot& snap) const {
+  // A middleware plan acquires its kTimeslice at the statement root and
+  // PushDownTimeslice only moves it through unary nodes, so any
+  // indexable timeslice sits on the unary left spine — an
+  // allocation-free probe, so the common no-AS-OF serving path pays
+  // O(spine) instead of a full DAG walk.  Hand-built plans holding
+  // timeslices elsewhere are merely not accelerated (the executor falls
+  // back to the scan path without an index).
+  // (`class` disambiguates from the TemporalDB::Plan member function.)
+  for (const class Plan* node = plan.get(); node != nullptr;
+       node = node->left.get()) {
+    if (node->kind != PlanKind::kTimeslice || node->left == nullptr ||
+        node->left->kind != PlanKind::kScan) {
+      continue;
+    }
+    const std::string& table = node->left->table;
+    if (!snap.catalog.Has(table)) continue;
+    int arity = static_cast<int>(snap.catalog.Get(table).schema().size());
+    if (arity < 2) continue;
+    // kTimeslice's input invariant fixes the endpoints to the trailing
+    // two columns; the executor rejects any other index layout.
+    EnsureTimelineIndex(table, arity - 2, arity - 1, snap);
+  }
+}
+
 Result<sql::BoundStatement> TemporalDB::BindSql(const std::string& sql,
                                                 const Snapshot& snap) const {
   Result<sql::Statement> parsed = sql::Parse(sql);
@@ -222,6 +277,12 @@ Result<PlanPtr> TemporalDB::PlanBound(const sql::BoundStatement& bound,
                      domain_.ToString()));
         }
         plan = MakeTimeslice(std::move(plan), *bound.as_of);
+        if (options.push_down_timeslice) {
+          // Move tau below the final coalesce and through the REWR
+          // select/project shapes so it lands on the scans, where the
+          // executor can answer it from the timeline index.
+          plan = PushDownTimeslice(plan);
+        }
       }
     }
     if (!bound.order_by.empty()) {
@@ -313,6 +374,8 @@ Result<std::string> TemporalDB::ExplainAnalyze(const std::string& sql) const {
     ExecStats stats;
     ExecOptions exec;
     exec.num_threads = options_.num_threads;
+    exec.use_timeline_index = options_.use_timeline_index;
+    if (exec.use_timeline_index) EnsureTimelineIndexes(*plan, snap);
     Relation result = Execute(*plan, snap.catalog, exec, &stats);
     return StrCat((*plan)->ToString(), stats.ToString(), "\n",
                   result.size(), " result rows\n");
@@ -335,6 +398,9 @@ Result<Relation> TemporalDB::Query(const std::string& sql,
   try {
     ExecOptions exec;
     exec.num_threads = options.num_threads;
+    exec.use_timeline_index = options.use_timeline_index;
+    // First indexed read builds the (per-snapshot, COW-shared) index.
+    if (exec.use_timeline_index) EnsureTimelineIndexes(*plan, snap);
     return Execute(*plan, snap.catalog, exec);
   } catch (const std::exception& error) {
     // EngineError plus anything execution-adjacent (e.g. std::thread
@@ -354,18 +420,28 @@ Result<Relation> TemporalDB::Timeslice(const std::string& table,
     return Status::InvalidArgument(StrCat(table, " is not a period table"));
   }
   const Relation& stored = snap.catalog.Get(table);
-  // Normalize the period columns into the trailing position, then slice.
   int begin_idx = stored.schema().Find("", it->second.begin_column);
   int end_idx = stored.schema().Find("", it->second.end_column);
-  std::vector<int> order;
-  for (size_t i = 0; i < stored.schema().size(); ++i) {
-    if (static_cast<int>(i) != begin_idx && static_cast<int>(i) != end_idx) {
-      order.push_back(static_cast<int>(i));
+  try {  // the middleware boundary never throws, index path included
+    if (options_.use_timeline_index) {
+      // Point lookup through the timeline index: checkpoint + bounded
+      // replay, row-identical to the scan path below.  Build() returns
+      // nullptr for unindexable tables (non-integer endpoints), which
+      // keeps the scan path's diagnostics.
+      std::shared_ptr<const TimelineIndex> index =
+          EnsureTimelineIndex(table, begin_idx, end_idx, snap);
+      if (index != nullptr) return index->Timeslice(t);
     }
-  }
-  order.push_back(begin_idx);
-  order.push_back(end_idx);
-  try {
+    // Normalize the period columns into the trailing position, slice.
+    std::vector<int> order;
+    for (size_t i = 0; i < stored.schema().size(); ++i) {
+      if (static_cast<int>(i) != begin_idx &&
+          static_cast<int>(i) != end_idx) {
+        order.push_back(static_cast<int>(i));
+      }
+    }
+    order.push_back(begin_idx);
+    order.push_back(end_idx);
     Relation normalized =
         Execute(MakeProjectColumns(MakeConstant(stored), order), snap.catalog);
     return TimesliceEncoded(normalized, t);

@@ -29,6 +29,10 @@
 // same generation, so a plan raced by a catalog mutation (or by a
 // cache disable/re-enable toggle) can never be served stale — on top of
 // that, every mutation and every disable flushes the cache outright.
+// Point-in-time reads (SEQ VT AS OF, Timeslice) are answered from
+// per-table timeline indexes (engine/timeline_index.h) built lazily on
+// the first indexed read and invalidated copy-on-write exactly like
+// relations; see docs/architecture.md §8.
 #ifndef PERIODK_MIDDLEWARE_TEMPORAL_DB_H_
 #define PERIODK_MIDDLEWARE_TEMPORAL_DB_H_
 
@@ -82,36 +86,46 @@ class TemporalDB {
   /// across threads (per-call options are the thread-safe alternative).
   void set_options(const RewriteOptions& options) { options_ = options; }
 
-  /// Creates an ordinary (non-temporal) table.
+  /// Creates an ordinary (non-temporal) table.  AlreadyExists when the
+  /// name is taken.  Thread-safe (serializes with other writers).
   Status CreateTable(const std::string& name,
                      const std::vector<std::string>& columns);
 
   /// Creates a period table; `begin_column` / `end_column` must be two
   /// distinct members of `columns` holding integer time points within
-  /// the domain.
+  /// the domain (InvalidArgument otherwise; AlreadyExists when the name
+  /// is taken).  Thread-safe (serializes with other writers).
   Status CreatePeriodTable(const std::string& name,
                            const std::vector<std::string>& columns,
                            const std::string& begin_column,
                            const std::string& end_column);
 
   /// Registers an existing relation as a period table (bulk load);
-  /// replaces any previous table of that name atomically.
+  /// replaces any previous table of that name atomically.  Readers
+  /// pinned to the old snapshot keep the old relation alive.
+  /// Thread-safe (serializes with other writers).
   Status PutPeriodTable(const std::string& name, Relation relation,
                         const std::string& begin_column,
                         const std::string& end_column);
 
   /// Copy-on-write append: readers pinned to the old snapshot keep
   /// seeing the table without the row.  O(table) per call — batch with
-  /// InsertRows when loading.
+  /// InsertRows when loading.  InvalidArgument on arity mismatch,
+  /// NotFound for unknown tables.  Thread-safe.
   Status Insert(const std::string& table, Row row);
   /// Bulk insert; atomic: every row's arity is validated before any row
-  /// lands, so a failure leaves the table untouched.
+  /// lands, so a failure leaves the table untouched.  O(table + batch)
+  /// per call.  Thread-safe.
   Status InsertRows(const std::string& table, std::vector<Row> rows);
 
   /// Parses, binds, (for SEQ VT queries) rewrites, and executes against
   /// a pinned catalog snapshot.  Planning is served from the plan cache
   /// when possible; options.num_threads > 1 fans partitioned operators
-  /// out to a work-stealing pool.
+  /// out to a work-stealing pool, and options.use_timeline_index routes
+  /// AS-OF timeslices through lazily built timeline indexes.
+  /// Thread-safe: any number of concurrent Query() calls may race any
+  /// writer; each observes one consistent snapshot.  Never throws; all
+  /// failures (parse/bind/execution) come back as the Status.
   Result<Relation> Query(const std::string& sql) const;
   Result<Relation> Query(const std::string& sql,
                          const RewriteOptions& options) const;
@@ -139,7 +153,14 @@ class TemporalDB {
   /// parallel tasks).
   Result<std::string> ExplainAnalyze(const std::string& sql) const;
 
-  /// tau_T of a period table: its snapshot at time t.
+  /// tau_T of a period table: its snapshot at time t, with the two
+  /// interval columns dropped.  NotFound for unknown tables,
+  /// InvalidArgument for non-period tables.  Served from the table's
+  /// timeline index — O(log #events + K + answer) after the first call
+  /// has built the index — unless options().use_timeline_index is off
+  /// or the table holds non-integer endpoints, in which case it is the
+  /// O(table) scan.  Both paths return identical rows in identical
+  /// order.  Thread-safe, like every read entry point.
   Result<Relation> Timeslice(const std::string& table, TimePoint t) const;
 
   /// The live catalog.  Unsynchronized direct access for single-threaded
@@ -170,6 +191,21 @@ class TemporalDB {
   };
   Snapshot PinSnapshot() const;
 
+  /// Lazily builds/publishes the timeline index of `table` over the
+  /// endpoint columns (begin_col, end_col), attaching it to the pinned
+  /// snapshot.  Publication back to the live catalog is double-checked
+  /// under the generation tag: it happens only while the catalog is
+  /// still at the snapshot's generation (a concurrent writer's
+  /// copy-on-write publication simply wins and the index stays
+  /// snapshot-local).  Returns nullptr when the table cannot be indexed
+  /// exactly (non-integer endpoints) — callers fall back to the scan.
+  std::shared_ptr<const TimelineIndex> EnsureTimelineIndex(
+      const std::string& table, int begin_col, int end_col,
+      Snapshot& snap) const;
+  /// Ensures an index for every table the plan timeslices directly over
+  /// a scan (the shape PushDownTimeslice produces for AS OF queries).
+  void EnsureTimelineIndexes(const PlanPtr& plan, Snapshot& snap) const;
+
   Result<sql::BoundStatement> BindSql(const std::string& sql,
                                       const Snapshot& snap) const;
   Result<PlanPtr> PlanBound(const sql::BoundStatement& bound,
@@ -191,7 +227,10 @@ class TemporalDB {
   // catalog_mu_.
   mutable std::shared_mutex catalog_mu_;
   std::mutex writer_mu_;
-  Catalog catalog_;
+  // Mutable for exactly one reason: read entry points lazily attach
+  // timeline indexes (a cache over immutable relations, never data)
+  // under the exclusive lock — see EnsureTimelineIndex.
+  mutable Catalog catalog_;
   std::map<std::string, sql::PeriodTableInfo> period_tables_;
   // Bumped under the exclusive lock on every publication; a pinned
   // generation therefore names one exact catalog state.

@@ -148,6 +148,23 @@ bool ContainsKind(const PlanPtr& plan, PlanKind kind);
 /// Number of nodes of the given kind in the subtree.
 int CountKind(const PlanPtr& plan, PlanKind kind);
 
+// --- Timeslice pushdown legality (consumed by PushDownTimeslice in
+// rewrite/rewriter.h).  Both judge a single parent/child edge of an
+// encoded plan, whose trailing two columns are the interval endpoints. -------
+
+/// True iff tau_t commutes with this kSelect node: its predicate
+/// references only the non-temporal prefix of its input (no column at
+/// or above input arity - 2), so filtering before or after slicing
+/// keeps the exact same rows.
+bool TimesliceCommutesWithSelect(const Plan& select);
+
+/// True iff tau_t commutes with this kProject node: its last two
+/// expressions are plain references to the child's trailing endpoint
+/// columns (the REWR projection shape that passes intervals through)
+/// and no other expression reads an endpoint column.  Pushing tau below
+/// then simply drops those two expressions.
+bool TimesliceCommutesWithProject(const Plan& project);
+
 }  // namespace periodk
 
 #endif  // PERIODK_RA_PLAN_H_

@@ -300,6 +300,43 @@ PlanPtr SnapshotRewriter::RewriteAggregate(const PlanPtr& q) const {
   return MaybeCoalesce(Reorder(std::move(agg), order));
 }
 
+namespace {
+
+PlanPtr PushTimesliceInto(TimePoint t, const PlanPtr& node) {
+  switch (node->kind) {
+    case PlanKind::kCoalesce:
+      // tau_t(C(X)) = tau_t(X): skip the coalesce entirely.
+      return PushTimesliceInto(t, node->left);
+    case PlanKind::kSelect:
+      if (TimesliceCommutesWithSelect(*node)) {
+        return MakeSelect(PushTimesliceInto(t, node->left), node->predicate);
+      }
+      break;
+    case PlanKind::kProject:
+      if (TimesliceCommutesWithProject(*node)) {
+        // Drop the two endpoint expressions; the remaining ones read
+        // only the non-temporal prefix, which the slice preserves.
+        std::vector<ExprPtr> exprs(node->exprs.begin(),
+                                   node->exprs.end() - 2);
+        std::vector<Column> names(node->schema.columns().begin(),
+                                  node->schema.columns().end() - 2);
+        return MakeProject(PushTimesliceInto(t, node->left),
+                           std::move(exprs), std::move(names));
+      }
+      break;
+    default:
+      break;
+  }
+  return MakeTimeslice(node, t);
+}
+
+}  // namespace
+
+PlanPtr PushDownTimeslice(const PlanPtr& plan) {
+  if (plan == nullptr || plan->kind != PlanKind::kTimeslice) return plan;
+  return PushTimesliceInto(plan->slice_time, plan->left);
+}
+
 PlanPtr SnapshotRewriter::RewriteDistinct(const PlanPtr& q) const {
   // Snapshot DISTINCT: align value-equivalent tuples, collapse
   // duplicates per fragment.

@@ -59,12 +59,23 @@ struct RewriteOptions {
   /// Apply the final coalesce that makes the output encoding unique.
   bool final_coalesce = true;
   CoalesceImpl coalesce_impl = CoalesceImpl::kNative;
+  /// Push the kTimeslice of a SEQ VT AS OF query below the final
+  /// coalesce and through selections/projections toward the scans (see
+  /// PushDownTimeslice), so point-in-time queries reach the timeline
+  /// index before materializing anything.  Plan-shaping: part of the
+  /// middleware's plan-cache key.
+  bool push_down_timeslice = true;
   /// Intra-query parallelism for execution (not a rewrite knob, but
   /// plumbed here so middleware callers configure one options struct):
   /// partitioned operators fan out to this many threads; 1 keeps
   /// execution sequential and bit-identical.  Does not change the
   /// produced plan, so it is excluded from the plan-cache key.
   int num_threads = 1;
+  /// Serve timeslices from lazily built per-table timeline indexes
+  /// (engine/timeline_index.h).  Like num_threads, an execution knob:
+  /// it never changes the produced plan (and is excluded from the
+  /// plan-cache key); false keeps the O(table) scan path bit for bit.
+  bool use_timeline_index = true;
 };
 
 class SnapshotRewriter {
@@ -99,6 +110,25 @@ class SnapshotRewriter {
   RewriteOptions options_;
   std::map<std::string, PlanPtr> encoded_tables_;
 };
+
+/// Pushes a top-level kTimeslice (the plan shape of SEQ VT AS OF t)
+/// toward the leaves, one legal step at a time:
+///
+///   * tau_t(C(X))       = tau_t(X)            -- coalescing preserves
+///     every snapshot (Def 8.2: C re-encodes the same N^T-relation, and
+///     equivalent encodings have equal timeslices), so the coalesce is
+///     dead work under a timeslice;
+///   * tau_t(sigma_p(X)) = sigma_p(tau_t(X))   when p ignores the
+///     endpoint columns (TimesliceCommutesWithSelect);
+///   * tau_t(pi_E(X))    = pi_E'(tau_t(X))     when E passes the
+///     endpoints through untouched (TimesliceCommutesWithProject); E'
+///     is E without its two endpoint expressions.
+///
+/// Stops at the first non-commuting node.  The result is bag-equal to
+/// the input plan (row order may differ when a coalesce is elided) and
+/// has the same output schema.  Plans whose root is not kTimeslice are
+/// returned unchanged.
+PlanPtr PushDownTimeslice(const PlanPtr& plan);
 
 }  // namespace periodk
 

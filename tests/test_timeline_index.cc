@@ -1,0 +1,442 @@
+// TimelineIndex coverage: the checkpointed timeslice index must be
+// *row-exact* against the scan path (`TimesliceEncoded`) — same rows in
+// the same order — and bag-exact against the naive snapshot-by-snapshot
+// oracle, for every t (domain bounds, begin/end endpoints, in between)
+// and every checkpoint-interval shape (K = 1, K > #events).  On top of
+// the index itself: the executor's routing (ExecStats::index_timeslices,
+// stale-index rejection, use_timeline_index = false fallback), the
+// rewriter's timeslice pushdown, the middleware's lazy index lifecycle,
+// and a concurrent AS-OF serving smoke test.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+
+#include "baseline/naive.h"
+#include "common/str_util.h"
+#include "common/rng.h"
+#include "engine/temporal_ops.h"
+#include "engine/timeline_index.h"
+#include "middleware/temporal_db.h"
+#include "rewrite/rewriter.h"
+#include "tests/random_query.h"
+
+namespace periodk {
+namespace {
+
+constexpr TimeDomain kDomain{0, 16};
+
+Relation EncodedRelation(const std::vector<std::array<int64_t, 4>>& rows) {
+  Relation rel(Schema::FromNames({"a", "b", "a_begin", "a_end"}));
+  for (const auto& r : rows) {
+    rel.AddRow({Value::Int(r[0]), Value::Int(r[1]), Value::Int(r[2]),
+                Value::Int(r[3])});
+  }
+  return rel;
+}
+
+/// Exact comparison: same rows in the same order (stronger than
+/// BagEquals — the index promises scan-path row order).
+void ExpectRowsIdentical(const Relation& got, const Relation& want,
+                         const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  ASSERT_EQ(got.schema().size(), want.schema().size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.rows()[i], want.rows()[i]) << context << " at row " << i;
+  }
+}
+
+TEST(TimelineIndexTest, TimesliceMatchesScanOnSmallTable) {
+  auto rel = std::make_shared<const Relation>(EncodedRelation({
+      {1, 10, 3, 10},
+      {2, 20, 8, 16},
+      {3, 30, 8, 16},
+      {1, 11, 0, 3},
+      {4, 40, 15, 16},
+  }));
+  for (int64_t k : {1, 2, 3, 64, 1000}) {
+    auto index = TimelineIndex::Build(rel, k);
+    ASSERT_NE(index, nullptr);
+    EXPECT_TRUE(index->ColumnsAreTrailing());
+    for (TimePoint t = -2; t <= 18; ++t) {
+      ExpectRowsIdentical(index->Timeslice(t), TimesliceEncoded(*rel, t),
+                          "K=" + std::to_string(k) +
+                              " t=" + std::to_string(t));
+    }
+  }
+}
+
+TEST(TimelineIndexTest, EndpointAndBoundTimePoints) {
+  // t exactly on a begin is alive, exactly on an end is not (half-open
+  // [b, e)); domain bounds behave like any other point.
+  auto rel = std::make_shared<const Relation>(EncodedRelation({
+      {1, 0, 0, 16},   // spans the whole domain
+      {2, 0, 5, 9},
+  }));
+  auto index = TimelineIndex::Build(rel, 2);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->AliveAt(0), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(index->AliveAt(5), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(index->AliveAt(8), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(index->AliveAt(9), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(index->AliveAt(15), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(index->AliveAt(16), (std::vector<uint32_t>{}));
+  EXPECT_EQ(index->AliveAt(-1), (std::vector<uint32_t>{}));
+}
+
+TEST(TimelineIndexTest, EmptyTableAndEmptyIntervals) {
+  auto empty = std::make_shared<const Relation>(EncodedRelation({}));
+  auto index = TimelineIndex::Build(empty, 1);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->num_events(), 0u);
+  EXPECT_TRUE(index->Timeslice(5).empty());
+  EXPECT_TRUE(index->AliveInRange(0, 16).empty());
+
+  // Empty (b == e) and reversed (b > e) validity intervals are never
+  // alive — exactly the scan path's behavior.
+  auto degenerate = std::make_shared<const Relation>(EncodedRelation({
+      {1, 0, 5, 5},
+      {2, 0, 9, 3},
+      {3, 0, 2, 4},
+  }));
+  index = TimelineIndex::Build(degenerate, 1);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->num_events(), 2u);  // only the valid row
+  for (TimePoint t = 0; t < 16; ++t) {
+    ExpectRowsIdentical(index->Timeslice(t), TimesliceEncoded(*degenerate, t),
+                        "degenerate t=" + std::to_string(t));
+  }
+}
+
+TEST(TimelineIndexTest, RefusesNonIntegerEndpointsAndNarrowSchemas) {
+  // The scan path throws on non-integer endpoints; the index must not
+  // silently differ, so Build refuses and callers keep the scan.
+  Relation rel(Schema::FromNames({"a", "a_begin", "a_end"}));
+  rel.AddRow({Value::Int(1), Value::Int(0), Value::Null()});
+  EXPECT_EQ(TimelineIndex::Build(
+                std::make_shared<const Relation>(std::move(rel))),
+            nullptr);
+
+  Relation text(Schema::FromNames({"a", "a_begin", "a_end"}));
+  text.AddRow({Value::Int(1), Value::String("x"), Value::Int(3)});
+  EXPECT_EQ(TimelineIndex::Build(
+                std::make_shared<const Relation>(std::move(text))),
+            nullptr);
+
+  Relation narrow(Schema::FromNames({"only"}));
+  EXPECT_EQ(TimelineIndex::Build(
+                std::make_shared<const Relation>(std::move(narrow))),
+            nullptr);
+}
+
+TEST(TimelineIndexTest, AliveInRangeMatchesBruteForce) {
+  Rng rng(0x7136713);
+  for (int iter = 0; iter < 60; ++iter) {
+    Catalog catalog =
+        RandomEncodedCatalog(&rng, kDomain, /*max_rows=*/20, 0.0,
+                             /*empty_validity_chance=*/0.2);
+    auto rel = catalog.GetShared("r");
+    int64_t k = static_cast<int64_t>(rng.Uniform(6)) + 1;
+    auto index = TimelineIndex::Build(rel, k);
+    ASSERT_NE(index, nullptr);
+    for (int probe = 0; probe < 12; ++probe) {
+      TimePoint b = rng.Range(kDomain.tmin - 1, kDomain.tmax);
+      TimePoint e = rng.Range(kDomain.tmin - 1, kDomain.tmax + 1);
+      std::vector<uint32_t> expected;
+      for (size_t i = 0; i < rel->size(); ++i) {
+        TimePoint rb = rel->rows()[i][2].AsInt();
+        TimePoint re = rel->rows()[i][3].AsInt();
+        if (rb < re && rb < e && re > b && b < e) {
+          expected.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      EXPECT_EQ(index->AliveInRange(b, e), expected)
+          << "[" << b << ", " << e << ") K=" << k;
+    }
+  }
+}
+
+TEST(TimelineIndexTest, RandomTablesRowExactAcrossCheckpointIntervals) {
+  Rng rng(0x11d3f00d);
+  for (int iter = 0; iter < 80; ++iter) {
+    Catalog catalog =
+        RandomEncodedCatalog(&rng, kDomain, /*max_rows=*/24, 0.0,
+                             /*empty_validity_chance=*/0.15);
+    for (const char* name : {"r", "s"}) {
+      auto rel = catalog.GetShared(name);
+      // K = 1 checkpoints after every event; the last K is far beyond
+      // 2 * max_rows, so the index degenerates to one empty checkpoint
+      // plus a full replay — both edge shapes must stay exact.
+      for (int64_t k : {int64_t{1}, int64_t{3}, int64_t{64}, int64_t{999}}) {
+        auto index = TimelineIndex::Build(rel, k);
+        ASSERT_NE(index, nullptr);
+        for (TimePoint t = kDomain.tmin - 1; t <= kDomain.tmax; ++t) {
+          ExpectRowsIdentical(
+              index->Timeslice(t), TimesliceEncoded(*rel, t),
+              StrCat(name, " iter=", iter, " K=", k, " t=", t));
+        }
+      }
+    }
+  }
+}
+
+// --- Executor routing. -----------------------------------------------------
+
+TEST(TimelineIndexExecTest, RoutesTimesliceOverScanThroughIndex) {
+  Rng rng(0xe0e0e0);
+  Catalog catalog = RandomEncodedCatalog(&rng, kDomain, 20);
+  auto rel = catalog.GetShared("r");
+  catalog.PutIndex("r", TimelineIndex::Build(rel));
+  PlanPtr plan = MakeTimeslice(
+      MakeScan("r", Schema::FromNames({"a", "b", "a_begin", "a_end"})), 7);
+
+  ExecStats stats;
+  ExecOptions options;
+  Relation indexed = Execute(plan, catalog, options, &stats);
+  EXPECT_EQ(stats.index_timeslices, 1);
+
+  ExecStats scan_stats;
+  ExecOptions scan_options;
+  scan_options.use_timeline_index = false;
+  Relation scanned = Execute(plan, catalog, scan_options, &scan_stats);
+  EXPECT_EQ(scan_stats.index_timeslices, 0);
+
+  ExpectRowsIdentical(indexed, scanned, "indexed vs scan");
+  ExpectRowsIdentical(indexed, TimesliceEncoded(*rel, 7), "indexed vs direct");
+}
+
+TEST(TimelineIndexExecTest, StaleOrMislayoutedIndexFallsBackToScan) {
+  Catalog catalog;
+  catalog.Put("r", EncodedRelation({{1, 2, 0, 8}, {3, 4, 4, 12}}));
+  auto index = TimelineIndex::Build(catalog.GetShared("r"));
+  ASSERT_NE(index, nullptr);
+  catalog.PutIndex("r", index);
+  // Replacing the relation both drops the catalog's index slot and, if
+  // an old index were re-attached, fails its BuiltFor identity check.
+  catalog.Put("r", EncodedRelation({{9, 9, 0, 16}}));
+  EXPECT_EQ(catalog.GetIndex("r"), nullptr);
+  catalog.PutIndex("r", index);  // stale on purpose
+
+  PlanPtr plan = MakeTimeslice(
+      MakeScan("r", Schema::FromNames({"a", "b", "a_begin", "a_end"})), 5);
+  ExecStats stats;
+  Relation result = Execute(plan, catalog, ExecOptions{}, &stats);
+  EXPECT_EQ(stats.index_timeslices, 0);  // stale index rejected
+  ExpectRowsIdentical(result, TimesliceEncoded(catalog.Get("r"), 5), "stale");
+
+  // An index over non-trailing endpoint columns never serves kTimeslice.
+  Relation odd(Schema::FromNames({"vb", "ve", "x"}));
+  odd.AddRow({Value::Int(0), Value::Int(9), Value::Int(1)});
+  catalog.Put("odd", std::move(odd));
+  auto odd_index = TimelineIndex::Build(catalog.GetShared("odd"), 0, 1);
+  ASSERT_NE(odd_index, nullptr);
+  EXPECT_FALSE(odd_index->ColumnsAreTrailing());
+  catalog.PutIndex("odd", odd_index);
+  PlanPtr odd_plan =
+      MakeTimeslice(MakeScan("odd", Schema::FromNames({"vb", "ve", "x"})), 4);
+  ExecStats odd_stats;
+  Execute(odd_plan, catalog, ExecOptions{}, &odd_stats);
+  EXPECT_EQ(odd_stats.index_timeslices, 0);
+}
+
+// --- Rewriter pushdown. ----------------------------------------------------
+
+TEST(TimeslicePushdownTest, PushesThroughCoalesceSelectProject) {
+  Schema encoded = Schema::FromNames({"a", "b", "a_begin", "a_end"});
+  PlanPtr scan = MakeScan("r", encoded);
+  PlanPtr select = MakeSelect(scan, Eq(Col(0), LitInt(1)));
+  PlanPtr project = MakeProject(
+      select, {Col(1, "b"), Col(2, "a_begin"), Col(3, "a_end")},
+      {Column("b"), Column("a_begin"), Column("a_end")});
+  PlanPtr pushed =
+      PushDownTimeslice(MakeTimeslice(MakeCoalesce(project), 5));
+  // Expected shape: Project(Select(Timeslice(Scan))).
+  ASSERT_EQ(pushed->kind, PlanKind::kProject);
+  ASSERT_EQ(pushed->left->kind, PlanKind::kSelect);
+  ASSERT_EQ(pushed->left->left->kind, PlanKind::kTimeslice);
+  ASSERT_EQ(pushed->left->left->left->kind, PlanKind::kScan);
+  EXPECT_EQ(pushed->schema.size(), 1u);
+  EXPECT_EQ(pushed->schema.at(0).name, "b");
+}
+
+TEST(TimeslicePushdownTest, StopsAtTemporalPredicatesAndReshapedProjects) {
+  Schema encoded = Schema::FromNames({"a", "b", "a_begin", "a_end"});
+  // Predicate touching an endpoint column: tau must stay above.
+  PlanPtr temporal_select =
+      MakeSelect(MakeScan("r", encoded), Ge(Col(2), LitInt(3)));
+  PlanPtr pushed = PushDownTimeslice(MakeTimeslice(temporal_select, 5));
+  EXPECT_EQ(pushed->kind, PlanKind::kTimeslice);
+  EXPECT_EQ(pushed->left->kind, PlanKind::kSelect);
+
+  // Projection that reorders endpoints away from pass-through.
+  PlanPtr reshaped = MakeProject(
+      MakeScan("r", encoded), {Col(0, "a"), Col(3, "e"), Col(2, "b2")},
+      {Column("a"), Column("e"), Column("b2")});
+  pushed = PushDownTimeslice(MakeTimeslice(reshaped, 5));
+  EXPECT_EQ(pushed->kind, PlanKind::kTimeslice);
+  EXPECT_EQ(pushed->left->kind, PlanKind::kProject);
+}
+
+TEST(TimeslicePushdownTest, PushedPlansStayBagEqualOnRandomQueries) {
+  Rng rng(0x9a5bacc);
+  RandomQueryConfig config;
+  config.allow_aggregate = false;  // rewritten agg plans end in
+  config.allow_difference = true;  // split-aggregate, not pi/sigma chains
+  for (int iter = 0; iter < 60; ++iter) {
+    Catalog catalog = RandomEncodedCatalog(&rng, kDomain, 10, 0.1, 0.1);
+    RandomQueryGenerator gen(&rng, config);
+    PlanPtr query = gen.Generate(static_cast<int>(rng.Uniform(3)));
+    SnapshotRewriter rewriter(kDomain, RewriteOptions{});
+    TimePoint t = rng.Range(kDomain.tmin, kDomain.tmax - 1);
+    PlanPtr sliced = MakeTimeslice(rewriter.Rewrite(query), t);
+    PlanPtr pushed = PushDownTimeslice(sliced);
+    ASSERT_EQ(pushed->schema.size(), sliced->schema.size());
+    // Give the pushed plan real indexes so Timeslice-over-scan nodes
+    // take the indexed route.
+    catalog.PutIndex("r", TimelineIndex::Build(catalog.GetShared("r")));
+    catalog.PutIndex("s", TimelineIndex::Build(catalog.GetShared("s")));
+    Relation a = Execute(sliced, catalog);
+    Relation b = Execute(pushed, catalog);
+    ASSERT_TRUE(a.BagEquals(b))
+        << "t=" << t << "\noriginal:\n" << sliced->ToString()
+        << "\npushed:\n" << pushed->ToString();
+    // Abstract-model oracle: tau_t of the naive snapshot-by-snapshot
+    // evaluation must agree with both routes (Thm 6.3).
+    Relation oracle = TimesliceEncoded(NaiveSnapshotEval(query, catalog,
+                                                         kDomain), t);
+    ASSERT_TRUE(b.BagEquals(oracle))
+        << "t=" << t << "\nquery:\n" << query->ToString();
+  }
+}
+
+// --- Middleware: AS OF serving, lazy index lifecycle, oracle. --------------
+
+TemporalDB SeededDb(Rng* rng, int rows) {
+  TemporalDB db(kDomain);
+  EXPECT_TRUE(
+      db.CreatePeriodTable("t", {"grp", "val", "vb", "ve"}, "vb", "ve").ok());
+  std::vector<Row> batch;
+  for (int i = 0; i < rows; ++i) {
+    TimePoint b = rng->Range(kDomain.tmin, kDomain.tmax - 2);
+    TimePoint e = rng->Range(b + 1, kDomain.tmax - 1);
+    batch.push_back({Value::Int(rng->Range(0, 3)), Value::Int(rng->Range(0, 9)),
+                     Value::Int(b), Value::Int(e)});
+  }
+  EXPECT_TRUE(db.InsertRows("t", std::move(batch)).ok());
+  return db;
+}
+
+TEST(TimelineIndexMiddlewareTest, AsOfQueriesMatchScanPathAndOracle) {
+  Rng rng(0xa50f);
+  for (int iter = 0; iter < 25; ++iter) {
+    TemporalDB db = SeededDb(&rng, static_cast<int>(rng.Uniform(30)));
+    for (const char* sql :
+         {"SELECT grp, val FROM t", "SELECT val FROM t WHERE grp = 1",
+          "SELECT grp FROM t WHERE val >= 4 "
+          "UNION ALL SELECT grp FROM t WHERE grp = 2"}) {
+      TimePoint t = rng.Range(kDomain.tmin, kDomain.tmax - 1);
+      std::string as_of = StrCat("SEQ VT AS OF ", t, " (", sql, ")");
+      auto indexed = db.Query(as_of);
+      ASSERT_TRUE(indexed.ok()) << as_of;
+
+      RewriteOptions scan_opts;
+      scan_opts.use_timeline_index = false;
+      scan_opts.push_down_timeslice = false;
+      auto scanned = db.Query(as_of, scan_opts);
+      ASSERT_TRUE(scanned.ok()) << as_of;
+      EXPECT_TRUE(indexed->BagEquals(*scanned)) << as_of;
+
+      // Thm 6.3 commutation check: AS OF t must equal tau_t of the full
+      // SEQ VT period result computed on the independent scan path.
+      auto encoded = db.Query(StrCat("SEQ VT (", sql, ")"), scan_opts);
+      ASSERT_TRUE(encoded.ok());
+      Relation oracle = TimesliceEncoded(*encoded, t);
+      EXPECT_TRUE(indexed->BagEquals(oracle)) << as_of;
+    }
+  }
+}
+
+TEST(TimelineIndexMiddlewareTest, TimesliceEntryPointUsesIndexAndStaysExact) {
+  Rng rng(0x5EED);
+  TemporalDB db = SeededDb(&rng, 40);
+  RewriteOptions scan_opts;
+  scan_opts.use_timeline_index = false;
+  for (TimePoint t = kDomain.tmin - 1; t <= kDomain.tmax; ++t) {
+    auto indexed = db.Timeslice("t", t);
+    ASSERT_TRUE(indexed.ok());
+    TemporalDB scan_db(kDomain, scan_opts);
+    // Same data through a scan-only instance.
+    Relation copy = db.catalog().Get("t");
+    ASSERT_TRUE(scan_db.PutPeriodTable("t", std::move(copy), "vb", "ve").ok());
+    auto scanned = scan_db.Timeslice("t", t);
+    ASSERT_TRUE(scanned.ok());
+    ExpectRowsIdentical(*indexed, *scanned, StrCat("t=", t));
+  }
+}
+
+TEST(TimelineIndexMiddlewareTest, ExplainAnalyzeShowsIndexHits) {
+  Rng rng(0xEA);
+  TemporalDB db = SeededDb(&rng, 10);
+  auto explained = db.ExplainAnalyze("SEQ VT AS OF 5 (SELECT grp FROM t)");
+  ASSERT_TRUE(explained.ok());
+  EXPECT_NE(explained->find("index timeslices: 1"), std::string::npos)
+      << *explained;
+}
+
+TEST(TimelineIndexMiddlewareTest, WritersInvalidateLazilyBuiltIndexes) {
+  Rng rng(0x17a1);
+  TemporalDB db = SeededDb(&rng, 10);
+  auto before = db.Query("SEQ VT AS OF 5 (SELECT grp, val FROM t)");
+  ASSERT_TRUE(before.ok());
+  // Insert a row alive at t = 5; the next AS-OF read must see it (a
+  // stale index would keep serving the old snapshot).
+  ASSERT_TRUE(
+      db.Insert("t", {Value::Int(7), Value::Int(7), Value::Int(0),
+                      Value::Int(16)})
+          .ok());
+  auto after = db.Query("SEQ VT AS OF 5 (SELECT grp, val FROM t)");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), before->size() + 1);
+}
+
+TEST(TimelineIndexMiddlewareTest, ConcurrentAsOfServingStaysConsistent) {
+  TemporalDB db(kDomain);
+  ASSERT_TRUE(
+      db.CreatePeriodTable("t", {"grp", "val", "vb", "ve"}, "vb", "ve").ok());
+  constexpr int kWrites = 60;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&db, &stop, &failures] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto result = db.Query("SEQ VT AS OF 8 (SELECT val FROM t)");
+        if (!result.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (int i = 0; i < kWrites; ++i) {
+    ASSERT_TRUE(db.Insert("t", {Value::Int(i % 4), Value::Int(i),
+                                Value::Int(i % 8), Value::Int(8 + i % 8)})
+                    .ok());
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Final state: every row with vb <= 8 < ve is visible.
+  auto final_result = db.Query("SEQ VT AS OF 8 (SELECT val FROM t)");
+  ASSERT_TRUE(final_result.ok());
+  RewriteOptions scan_opts;
+  scan_opts.use_timeline_index = false;
+  scan_opts.push_down_timeslice = false;
+  auto scan_result = db.Query("SEQ VT AS OF 8 (SELECT val FROM t)", scan_opts);
+  ASSERT_TRUE(scan_result.ok());
+  EXPECT_TRUE(final_result->BagEquals(*scan_result));
+}
+
+}  // namespace
+}  // namespace periodk

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository docs (stdlib only, offline).
+
+Scans the given Markdown files (default: README.md and docs/*.md) for
+inline links/images `[text](target)` and reference definitions
+`[id]: target`, and verifies that every *relative* target resolves to an
+existing file or directory (anchors are stripped; pure in-page anchors
+and external http(s)/mailto targets are skipped — CI stays offline and
+deterministic).
+
+Exit code 0 when every link resolves, 1 otherwise, listing each broken
+link as `file:line: target`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images, skipping images' leading '!': [text](target)
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference-style definitions: [id]: target
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+# Fenced code blocks contain things like `db.Query(...)` and array
+# indexing that regexes would misread as links; drop them up front.
+FENCE = re.compile(r"^(```|~~~)")
+
+
+def targets_in(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in INLINE.finditer(line):
+            yield lineno, match.group(1)
+        ref = REFDEF.match(line)
+        if ref:
+            yield lineno, ref.group(1)
+
+
+def main(argv):
+    root = Path(__file__).resolve().parent.parent
+    if len(argv) > 1:
+        files = [Path(a) for a in argv[1:]]
+    else:
+        files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    broken = []
+    checked = 0
+    for md in files:
+        for lineno, target in targets_in(md):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            checked += 1
+            resolved = (md.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(root)}:{lineno}: {target}")
+    for b in broken:
+        print(b)
+    print(f"checked {checked} relative links in {len(files)} files, "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
