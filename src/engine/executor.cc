@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -354,6 +355,83 @@ class ExecutionContext {
 
   OpContext Ctx() const { return OpContext{pool_, stats_}; }
 
+  /// Derives an interval-join sweep filter for one side of an overlap
+  /// join: when that side is a base-table scan with a current
+  /// TimelineIndex over exactly the overlap endpoint columns, rows
+  /// whose interval misses the opposite side's combined endpoint span
+  /// cannot satisfy the overlap conjunct against *any* opposite row —
+  /// fast lane or slow lane — and are excluded from the sweep.
+  /// Returns true and fills `keep` (one byte per source row) when
+  /// pruning applies; false leaves the join untouched.
+  bool ComputeJoinCandidates(const Plan& join_plan, bool left_side,
+                             const RelHandle& self, const Relation& other,
+                             std::vector<char>& keep) {
+    const PlanPtr& child = left_side ? join_plan.left : join_plan.right;
+    if (child->kind != PlanKind::kScan) return false;
+    std::shared_ptr<const TimelineIndex> index =
+        catalog_.GetIndex(child->table);
+    const OverlapSpec& ov = *join_plan.join.overlap;
+    int bcol = left_side ? ov.left_begin : ov.right_begin;
+    int ecol = left_side ? ov.left_end : ov.right_end;
+    if (index == nullptr || !index->BuiltFor(self.get()) ||
+        index->begin_col() != bcol || index->end_col() != ecol) {
+      return false;
+    }
+    // Combined span [lo, hi] of the opposite side's numeric endpoints:
+    // a row [b, e) of this side matches some opposite row [ob, oe) only
+    // if b < oe and ob < e, hence only if b < hi and e > lo.  Double
+    // endpoints compare numerically against integers under SQL
+    // semantics, so they widen the span via floor/ceil; NULL, string
+    // and bool endpoints can never satisfy the strict comparisons and
+    // do not contribute.
+    int obcol = left_side ? ov.right_begin : ov.left_begin;
+    int oecol = left_side ? ov.right_end : ov.left_end;
+    constexpr double kInt64Lo = -9223372036854775808.0;  // -2^63 exactly
+    constexpr double kInt64Hi = 9223372036854775808.0;   // 2^63 exactly
+    bool any = false;
+    TimePoint lo = 0;
+    TimePoint hi = 0;
+    bool give_up = false;
+    auto bound = [&](const Value& v, bool round_down,
+                     TimePoint* out) -> bool {
+      if (v.type() == ValueType::kInt) {
+        *out = v.AsInt();
+        return true;
+      }
+      if (v.type() != ValueType::kDouble) return false;
+      double d = round_down ? std::floor(v.AsDouble())
+                            : std::ceil(v.AsDouble());
+      if (!(d >= kInt64Lo && d < kInt64Hi)) {
+        give_up = true;  // non-finite or beyond int64: skip pruning
+        return false;
+      }
+      *out = static_cast<TimePoint>(d);
+      return true;
+    };
+    for (const Row& row : other.rows()) {
+      TimePoint b = 0;
+      TimePoint e = 0;
+      bool has_b = bound(row[static_cast<size_t>(obcol)], true, &b);
+      bool has_e = bound(row[static_cast<size_t>(oecol)], false, &e);
+      if (give_up) return false;
+      if (!has_b || !has_e) continue;
+      if (!any || b < lo) lo = b;
+      if (!any || e > hi) hi = e;
+      any = true;
+    }
+    keep.assign(self->size(), 0);
+    if (any) {
+      // AliveInRange is defined on half-open [lo, hi); a collapsed span
+      // (every opposite interval empty or reversed) still matches rows
+      // covering it, and those are exactly the rows alive at lo.
+      std::vector<uint32_t> ids = lo < hi ? index->AliveInRange(lo, hi)
+                                          : index->AliveAt(lo);
+      for (uint32_t id : ids) keep[id] = 1;
+    }
+    if (stats_ != nullptr) ++stats_->index_join_prunes;
+    return true;
+  }
+
   RelHandle Compute(const PlanPtr& plan) {
     if (stats_ != nullptr) ++stats_->nodes_executed;
     switch (plan->kind) {
@@ -372,6 +450,22 @@ class ExecutionContext {
       case PlanKind::kJoin: {
         RelHandle l = ExecuteNode(plan->left);
         RelHandle r = ExecuteNode(plan->right);
+        if (use_timeline_index_ && plan->join.overlap.has_value()) {
+          JoinCandidates cands;
+          std::vector<char> keep_l;
+          std::vector<char> keep_r;
+          if (ComputeJoinCandidates(*plan, /*left_side=*/true, l, *r,
+                                    keep_l)) {
+            cands.left = &keep_l;
+          }
+          if (ComputeJoinCandidates(*plan, /*left_side=*/false, r, *l,
+                                    keep_r)) {
+            cands.right = &keep_r;
+          }
+          if (cands.left != nullptr || cands.right != nullptr) {
+            return Own(IntervalOverlapJoin(*plan, *l, *r, Ctx(), cands));
+          }
+        }
         return Own(ExecJoin(*plan, *l, *r, Ctx()));
       }
       case PlanKind::kUnionAll: {
@@ -411,20 +505,25 @@ class ExecutionContext {
         // Executing the child keeps the memo's consumer bookkeeping
         // exact and, for scans, is a zero-copy handle share anyway.
         RelHandle in = ExecuteNode(plan->left);
+        auto [begin_col, end_col] = ResolveSliceColumns(*plan);
         if (use_timeline_index_ && plan->left->kind == PlanKind::kScan) {
           std::shared_ptr<const TimelineIndex> index =
               catalog_.GetIndex(plan->left->table);
           // Trust the index only if it was built from this exact
           // relation object (writers publish copy-on-write, so a stale
-          // index fails the pointer check) over the trailing endpoint
-          // columns kTimeslice's encoded-input invariant requires.
+          // index fails the pointer check) over the same endpoint
+          // columns this slice reads — trailing for the PERIODENC
+          // default, or the stored positions of a non-trailing period
+          // table after the generalized pushdown.
           if (index != nullptr && index->BuiltFor(in.get()) &&
-              index->ColumnsAreTrailing()) {
+              index->begin_col() == begin_col &&
+              index->end_col() == end_col) {
             if (stats_ != nullptr) ++stats_->index_timeslices;
             return Own(index->Timeslice(plan->slice_time));
           }
         }
-        return Own(TimesliceEncoded(*in, plan->slice_time));
+        return Own(
+            TimesliceEncodedAt(*in, plan->slice_time, begin_col, end_col));
       }
     }
     throw EngineError("unknown plan kind");
@@ -467,6 +566,7 @@ void ExecStats::Merge(const ExecStats& other) {
   rows_materialized += other.rows_materialized;
   parallel_tasks += other.parallel_tasks;
   index_timeslices += other.index_timeslices;
+  index_join_prunes += other.index_join_prunes;
 }
 
 std::string ExecStats::ToString() const {
@@ -474,7 +574,8 @@ std::string ExecStats::ToString() const {
                 ", memo hits: ", memo_hits,
                 ", rows materialized: ", rows_materialized,
                 ", parallel tasks: ", parallel_tasks,
-                ", index timeslices: ", index_timeslices);
+                ", index timeslices: ", index_timeslices,
+                ", index join prunes: ", index_join_prunes);
 }
 
 Relation Execute(const PlanPtr& plan, const Catalog& catalog,

@@ -97,6 +97,10 @@ struct ExecStats {
   /// kTimeslice nodes answered from a timeline index instead of the
   /// O(table) scan (shown by TemporalDB::ExplainAnalyze as index hits).
   int64_t index_timeslices = 0;
+  /// Interval-join sides whose sweep input was pre-filtered with
+  /// TimelineIndex::AliveInRange candidates (rows provably outside the
+  /// opposite side's endpoint span skip the sweep).
+  int64_t index_join_prunes = 0;
 
   void Merge(const ExecStats& other);
   std::string ToString() const;

@@ -53,10 +53,12 @@ Row Concat(const Row& lrow, const Row& rrow) {
   return combined;
 }
 
-// Reusable per-worker sweep scratch: the active sets are min-heaps on
-// interval end so expired entries pop in O(log n); emission scans the
-// underlying vector (heap order is irrelevant -- after pruning, every
-// active entry overlaps).
+// Reusable per-worker sweep scratch: the active sets keep arrival
+// (begin-stable) order and drop expired entries lazily during the
+// emission scan.  Arrival order makes the emitted row order a pure
+// function of the staged rows — removing a row that never overlaps
+// anything (index pruning) cannot perturb the order of the remaining
+// pairs, which is what makes the pruned join row-identical.
 using ActiveEntry = std::pair<TimePoint, const Row*>;
 struct SweepScratch {
   std::vector<ActiveEntry> active_l;
@@ -105,15 +107,28 @@ void ProcessBucket(const Plan& plan, Bucket& bucket, Relation& out,
   auto by_begin = [](const SweepRow& a, const SweepRow& b) {
     return a.begin < b.begin;
   };
-  std::sort(ls.begin(), ls.end(), by_begin);
-  std::sort(rs.begin(), rs.end(), by_begin);
-  auto ends_later = [](const ActiveEntry& a, const ActiveEntry& b) {
-    return a.first > b.first;
-  };
+  // Stable: rows sharing a begin stay in staging (= source) order, so
+  // the emitted order survives the removal of non-emitting rows.
+  std::stable_sort(ls.begin(), ls.end(), by_begin);
+  std::stable_sort(rs.begin(), rs.end(), by_begin);
   std::vector<ActiveEntry>& active_l = scratch.active_l;
   std::vector<ActiveEntry>& active_r = scratch.active_r;
   active_l.clear();
   active_r.clear();
+  // Emits `cur` against every still-active opposite entry, compacting
+  // expired entries (end <= cur.begin) out in the same pass.
+  auto emit_against = [](const SweepRow& cur,
+                         std::vector<ActiveEntry>& opposite,
+                         const auto& emit_pair) {
+    size_t kept = 0;
+    for (ActiveEntry& entry : opposite) {
+      if (entry.first > cur.begin) {
+        emit_pair(entry);
+        opposite[kept++] = entry;
+      }
+    }
+    opposite.resize(kept);
+  };
   size_t i = 0;
   size_t j = 0;
   while (i < ls.size() || j < rs.size()) {
@@ -121,26 +136,16 @@ void ProcessBucket(const Plan& plan, Bucket& bucket, Relation& out,
         j >= rs.size() || (i < ls.size() && ls[i].begin <= rs[j].begin);
     if (take_left) {
       const SweepRow& cur = ls[i++];
-      while (!active_r.empty() && active_r.front().first <= cur.begin) {
-        std::pop_heap(active_r.begin(), active_r.end(), ends_later);
-        active_r.pop_back();
-      }
-      for (const ActiveEntry& entry : active_r) {
+      emit_against(cur, active_r, [&](const ActiveEntry& entry) {
         emit_fast(*cur.row, *entry.second);
-      }
+      });
       active_l.emplace_back(cur.end, cur.row);
-      std::push_heap(active_l.begin(), active_l.end(), ends_later);
     } else {
       const SweepRow& cur = rs[j++];
-      while (!active_l.empty() && active_l.front().first <= cur.begin) {
-        std::pop_heap(active_l.begin(), active_l.end(), ends_later);
-        active_l.pop_back();
-      }
-      for (const ActiveEntry& entry : active_l) {
+      emit_against(cur, active_l, [&](const ActiveEntry& entry) {
         emit_fast(*entry.second, *cur.row);
-      }
+      });
       active_r.emplace_back(cur.end, cur.row);
-      std::push_heap(active_r.begin(), active_r.end(), ends_later);
     }
   }
 }
@@ -162,7 +167,8 @@ Relation NestedLoopJoin(const Plan& plan, const Relation& left,
 }
 
 Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
-                             const Relation& right, const OpContext& ctx) {
+                             const Relation& right, const OpContext& ctx,
+                             const JoinCandidates& candidates) {
   const JoinAnalysis& ja = plan.join;
   if (!ja.overlap.has_value()) {
     throw EngineError("IntervalOverlapJoin requires an overlap conjunct");
@@ -176,7 +182,11 @@ Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
   auto stage = [&](const Relation& rel, bool is_left) {
     int bcol = is_left ? ov.left_begin : ov.right_begin;
     int ecol = is_left ? ov.left_end : ov.right_end;
-    for (const Row& row : rel.rows()) {
+    const std::vector<char>* keep =
+        is_left ? candidates.left : candidates.right;
+    const auto& rows = rel.rows();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
       Row key;
       key.reserve(ja.equi_keys.size());
       bool has_null = false;
@@ -193,8 +203,14 @@ Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
       TimePoint b = 0;
       TimePoint e = 0;
       if (DecodeInterval(row, bcol, ecol, &b, &e)) {
-        (is_left ? bucket.fast_left : bucket.fast_right)
-            .push_back(SweepRow{b, e, &row});
+        // A pruned row provably overlaps nothing on the opposite side.
+        // Its bucket is still created above so the partition set — and
+        // with it the output's partition order — matches the unpruned
+        // run exactly.
+        if (keep == nullptr || (*keep)[i] != 0) {
+          (is_left ? bucket.fast_left : bucket.fast_right)
+              .push_back(SweepRow{b, e, &row});
+        }
       } else {
         (is_left ? bucket.slow_left : bucket.slow_right).push_back(&row);
       }

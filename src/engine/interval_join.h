@@ -14,6 +14,19 @@
 
 namespace periodk {
 
+/// Optional per-side sweep pruning, produced by the executor from a
+/// table's TimelineIndex (AliveInRange over the opposite side's
+/// endpoint span).  Bit i false marks source row i as provably unable
+/// to overlap anything on the opposite side, so the sweep's fast lane
+/// skips it; nullptr keeps every row.  Pruning never touches the slow
+/// lane (malformed-interval rows are absent from the index anyway), and
+/// the pruned join is row-identical — same rows, same order — to the
+/// unpruned one.
+struct JoinCandidates {
+  const std::vector<char>* left = nullptr;
+  const std::vector<char>* right = nullptr;
+};
+
 /// Executes a kJoin plan whose analysis carries an overlap conjunct
 /// (plan.join.overlap must be set).  Exactly equivalent to evaluating
 /// plan.predicate over the cross product: rows whose endpoint columns
@@ -23,7 +36,8 @@ namespace periodk {
 /// With a pool in `ctx` the equi-key partitions fan out to workers
 /// (a pure temporal join has one partition and stays sequential).
 Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
-                             const Relation& right, const OpContext& ctx = {});
+                             const Relation& right, const OpContext& ctx = {},
+                             const JoinCandidates& candidates = {});
 
 /// Reference implementation: O(n * m) nested loop evaluating the full
 /// join predicate on every pair.  Kept as the correctness baseline for

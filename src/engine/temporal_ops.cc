@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "engine/window.h"
 
@@ -516,6 +517,36 @@ Relation SplitAggregateRelation(const Relation& input,
     chunk_stats[c].parallel_tasks = 1;
   });
   return GatherChunks(std::move(outs), std::move(chunk_stats), ctx);
+}
+
+Relation TimesliceEncodedAt(const Relation& input, TimePoint t,
+                            int begin_col, int end_col) {
+  int arity = static_cast<int>(input.schema().size());
+  if (arity < 2 || begin_col < 0 || end_col < 0 || begin_col >= arity ||
+      end_col >= arity || begin_col == end_col) {
+    throw EngineError(StrCat("TimesliceAt: bad endpoint columns (", begin_col,
+                             ", ", end_col, ") for arity ", arity));
+  }
+  Schema schema;
+  std::vector<int> keep;
+  keep.reserve(static_cast<size_t>(arity) - 2);
+  for (int c = 0; c < arity; ++c) {
+    if (c == begin_col || c == end_col) continue;
+    keep.push_back(c);
+    schema.Append(input.schema().at(static_cast<size_t>(c)));
+  }
+  Relation out(std::move(schema));
+  for (const Row& row : input.rows()) {
+    TimePoint b = TimeOf(row[static_cast<size_t>(begin_col)]);
+    TimePoint e = TimeOf(row[static_cast<size_t>(end_col)]);
+    if (b <= t && t < e) {
+      Row projected;
+      projected.reserve(keep.size());
+      for (int c : keep) projected.push_back(row[static_cast<size_t>(c)]);
+      out.AddRow(std::move(projected));
+    }
+  }
+  return out;
 }
 
 Relation TimesliceEncoded(const Relation& input, TimePoint t) {

@@ -83,6 +83,12 @@ Relation SplitAggregateRelation(const Relation& input,
 /// the two temporal columns dropped.
 Relation TimesliceEncoded(const Relation& input, TimePoint t);
 
+/// tau_T with explicit endpoint columns (the generalized kTimeslice
+/// shape): rows with input[begin_col] <= t < input[end_col], those two
+/// columns dropped and the rest kept in order.
+Relation TimesliceEncodedAt(const Relation& input, TimePoint t,
+                            int begin_col, int end_col);
+
 /// Thrown by SplitRelation when a SplitBudgetScope is active and the
 /// number of materialized fragments exceeds the budget.  The alignment
 /// baseline materializes per-tuple fragments for aggregation (its split

@@ -247,9 +247,13 @@ void TemporalDB::EnsureTimelineIndexes(const PlanPtr& plan,
     if (!snap.catalog.Has(table)) continue;
     int arity = static_cast<int>(snap.catalog.Get(table).schema().size());
     if (arity < 2) continue;
-    // kTimeslice's input invariant fixes the endpoints to the trailing
-    // two columns; the executor rejects any other index layout.
-    EnsureTimelineIndex(table, arity - 2, arity - 1, snap);
+    // Index over exactly the columns this slice reads: the trailing two
+    // for the PERIODENC default, or the stored positions when the
+    // pushdown crossed a non-trailing period table's encoded
+    // projection.  The executor rejects any other layout.
+    auto [begin_col, end_col] = ResolveSliceColumns(*node);
+    if (begin_col >= arity || end_col >= arity) continue;
+    EnsureTimelineIndex(table, begin_col, end_col, snap);
   }
 }
 

@@ -129,6 +129,9 @@ std::string Plan::NodeLine() const {
       break;
     case PlanKind::kTimeslice:
       out += StrCat(" @", slice_time);
+      if (slice_begin_col >= 0) {
+        out += StrCat(" cols=(#", slice_begin_col, ", #", slice_end_col, ")");
+      }
       break;
     default:
       break;
@@ -337,6 +340,39 @@ PlanPtr MakeTimeslice(PlanPtr child, TimePoint t) {
   return p;
 }
 
+PlanPtr MakeTimesliceAt(PlanPtr child, TimePoint t, int begin_col,
+                        int end_col) {
+  int arity = static_cast<int>(child->schema.size());
+  if (arity < 2 || begin_col < 0 || end_col < 0 || begin_col >= arity ||
+      end_col >= arity || begin_col == end_col) {
+    throw EngineError(StrCat("TimesliceAt: bad endpoint columns (", begin_col,
+                             ", ", end_col, ") for arity ", arity));
+  }
+  if (begin_col == arity - 2 && end_col == arity - 1) {
+    return MakeTimeslice(std::move(child), t);
+  }
+  auto p = NewPlan(PlanKind::kTimeslice);
+  Schema schema;
+  for (int c = 0; c < arity; ++c) {
+    if (c == begin_col || c == end_col) continue;
+    schema.Append(child->schema.at(static_cast<size_t>(c)));
+  }
+  p->schema = std::move(schema);
+  p->left = std::move(child);
+  p->slice_time = t;
+  p->slice_begin_col = begin_col;
+  p->slice_end_col = end_col;
+  return p;
+}
+
+std::pair<int, int> ResolveSliceColumns(const Plan& timeslice) {
+  int arity = static_cast<int>(timeslice.left->schema.size());
+  int b = timeslice.slice_begin_col >= 0 ? timeslice.slice_begin_col
+                                         : arity - 2;
+  int e = timeslice.slice_end_col >= 0 ? timeslice.slice_end_col : arity - 1;
+  return {b, e};
+}
+
 bool ContainsKind(const PlanPtr& plan, PlanKind kind) {
   if (plan == nullptr) return false;
   if (plan->kind == kind) return true;
@@ -362,6 +398,17 @@ bool ReferencesOnlyBelow(const ExprPtr& expr, int limit) {
   return true;
 }
 
+/// True iff `expr` references neither column a nor column b.
+bool AvoidsColumns(const ExprPtr& expr, int a, int b) {
+  if (expr == nullptr) return true;
+  std::vector<int> cols;
+  CollectColumns(expr, &cols);
+  for (int c : cols) {
+    if (c == a || c == b) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool TimesliceCommutesWithSelect(const Plan& select) {
@@ -369,6 +416,12 @@ bool TimesliceCommutesWithSelect(const Plan& select) {
   int arity = static_cast<int>(select.left->schema.size());
   if (arity < 2) return false;
   return ReferencesOnlyBelow(select.predicate, arity - 2);
+}
+
+bool TimesliceCommutesWithSelect(const Plan& select, int begin_col,
+                                 int end_col) {
+  if (select.kind != PlanKind::kSelect || select.left == nullptr) return false;
+  return AvoidsColumns(select.predicate, begin_col, end_col);
 }
 
 bool TimesliceCommutesWithProject(const Plan& project) {
@@ -384,6 +437,37 @@ bool TimesliceCommutesWithProject(const Plan& project) {
   for (size_t i = 0; i + 2 < project.exprs.size(); ++i) {
     if (!ReferencesOnlyBelow(project.exprs[i], arity - 2)) return false;
   }
+  return true;
+}
+
+bool TimesliceCommutesWithProject(const Plan& project, int begin_col,
+                                  int end_col, int* child_begin_col,
+                                  int* child_end_col) {
+  if (project.kind != PlanKind::kProject || project.left == nullptr) {
+    return false;
+  }
+  int out_arity = static_cast<int>(project.exprs.size());
+  if (begin_col < 0 || end_col < 0 || begin_col >= out_arity ||
+      end_col >= out_arity || begin_col == end_col) {
+    return false;
+  }
+  const ExprPtr& b = project.exprs[static_cast<size_t>(begin_col)];
+  const ExprPtr& e = project.exprs[static_cast<size_t>(end_col)];
+  if (b->kind != ExprKind::kColumn || e->kind != ExprKind::kColumn ||
+      b->column == e->column) {
+    return false;
+  }
+  // The slice below drops the referenced child columns, so every other
+  // output expression must survive without them.
+  for (int i = 0; i < out_arity; ++i) {
+    if (i == begin_col || i == end_col) continue;
+    if (!AvoidsColumns(project.exprs[static_cast<size_t>(i)], b->column,
+                       e->column)) {
+      return false;
+    }
+  }
+  *child_begin_col = b->column;
+  *child_end_col = e->column;
   return true;
 }
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "engine/agg.h"
@@ -88,6 +89,12 @@ class Plan {
   std::vector<int> split_group;    // kSplit / kSplitAggregate: group cols
   std::vector<SortKey> sort_keys;  // kSort
   TimePoint slice_time = 0;        // kTimeslice
+  // kTimeslice: which child columns hold the interval endpoints; -1
+  // means the trailing-two PERIODENC default.  Non-default positions
+  // arise when the pushdown crosses the encoded-table projection of a
+  // period table that stores its interval columns elsewhere.
+  int slice_begin_col = -1;
+  int slice_end_col = -1;
   CoalesceImpl coalesce_impl = CoalesceImpl::kNative;  // kCoalesce
   // kSplitAggregate without groups emits rows for *every* elementary
   // segment of the domain, including gaps (count = 0 / sum = NULL);
@@ -141,6 +148,16 @@ PlanPtr MakeSplitAggregate(PlanPtr child, std::vector<int> group_cols,
                            std::vector<AggExpr> aggs, bool gap_rows,
                            TimeDomain domain, bool pre_aggregate = true);
 PlanPtr MakeTimeslice(PlanPtr child, TimePoint t);
+/// Timeslice over explicit endpoint columns: keeps rows with
+/// child[begin_col] <= t < child[end_col] and drops those two columns
+/// (remaining columns keep their relative order).  Trailing positions
+/// normalize to the plain MakeTimeslice shape.
+PlanPtr MakeTimesliceAt(PlanPtr child, TimePoint t, int begin_col,
+                        int end_col);
+
+/// Endpoint columns a kTimeslice node slices on, with the -1 defaults
+/// resolved against the child's arity.
+std::pair<int, int> ResolveSliceColumns(const Plan& timeslice);
 
 /// True if the plan subtree contains a node of the given kind.
 bool ContainsKind(const PlanPtr& plan, PlanKind kind);
@@ -158,12 +175,29 @@ int CountKind(const PlanPtr& plan, PlanKind kind);
 /// keeps the exact same rows.
 bool TimesliceCommutesWithSelect(const Plan& select);
 
+/// Generalized form: the slice reads endpoint columns (begin_col,
+/// end_col) of the select's schema; commutes iff the predicate never
+/// references either.
+bool TimesliceCommutesWithSelect(const Plan& select, int begin_col,
+                                 int end_col);
+
 /// True iff tau_t commutes with this kProject node: its last two
 /// expressions are plain references to the child's trailing endpoint
 /// columns (the REWR projection shape that passes intervals through)
 /// and no other expression reads an endpoint column.  Pushing tau below
 /// then simply drops those two expressions.
 bool TimesliceCommutesWithProject(const Plan& project);
+
+/// Generalized form for a slice over output columns (begin_col,
+/// end_col): commutes iff those two expressions are plain column
+/// references into the child (to distinct columns) and no other
+/// expression reads either referenced child column.  On success,
+/// *child_begin_col / *child_end_col receive the child columns the
+/// pushed-down slice must read — the positions of the period table's
+/// stored interval columns, trailing or not.
+bool TimesliceCommutesWithProject(const Plan& project, int begin_col,
+                                  int end_col, int* child_begin_col,
+                                  int* child_end_col);
 
 }  // namespace periodk
 

@@ -302,39 +302,77 @@ PlanPtr SnapshotRewriter::RewriteAggregate(const PlanPtr& q) const {
 
 namespace {
 
-PlanPtr PushTimesliceInto(TimePoint t, const PlanPtr& node) {
+/// Column remap for expressions that move below a slice dropping
+/// (begin_col, end_col): every surviving column shifts down past the
+/// dropped ones.  Only called on expressions already known to avoid
+/// both endpoint columns.
+int DropShift(int c, int begin_col, int end_col) {
+  return c - (c > begin_col ? 1 : 0) - (c > end_col ? 1 : 0);
+}
+
+/// Pushes tau_{t, (begin_col, end_col)} into `node` — the endpoint
+/// columns are positions in node's *output* schema, trailing or not
+/// (non-trailing positions arise below the encoded-table projection of
+/// a period table that stores its interval columns elsewhere).
+PlanPtr PushTimesliceInto(TimePoint t, const PlanPtr& node, int begin_col,
+                          int end_col) {
+  int arity = static_cast<int>(node->schema.size());
   switch (node->kind) {
     case PlanKind::kCoalesce:
-      // tau_t(C(X)) = tau_t(X): skip the coalesce entirely.
-      return PushTimesliceInto(t, node->left);
+      // tau_t(C(X)) = tau_t(X): skip the coalesce entirely.  C always
+      // merges on the trailing two columns, so the identity only
+      // applies when the slice reads exactly those.
+      if (begin_col == arity - 2 && end_col == arity - 1) {
+        return PushTimesliceInto(t, node->left, begin_col, end_col);
+      }
+      break;
     case PlanKind::kSelect:
-      if (TimesliceCommutesWithSelect(*node)) {
-        return MakeSelect(PushTimesliceInto(t, node->left), node->predicate);
+      if (TimesliceCommutesWithSelect(*node, begin_col, end_col)) {
+        // The slice below removes the endpoint columns, so the
+        // predicate's surviving references shift down past them.
+        ExprPtr pred = RemapColumns(node->predicate, [&](int c) {
+          return DropShift(c, begin_col, end_col);
+        });
+        return MakeSelect(
+            PushTimesliceInto(t, node->left, begin_col, end_col),
+            std::move(pred));
       }
       break;
-    case PlanKind::kProject:
-      if (TimesliceCommutesWithProject(*node)) {
-        // Drop the two endpoint expressions; the remaining ones read
-        // only the non-temporal prefix, which the slice preserves.
-        std::vector<ExprPtr> exprs(node->exprs.begin(),
-                                   node->exprs.end() - 2);
-        std::vector<Column> names(node->schema.columns().begin(),
-                                  node->schema.columns().end() - 2);
-        return MakeProject(PushTimesliceInto(t, node->left),
-                           std::move(exprs), std::move(names));
+    case PlanKind::kProject: {
+      int child_begin = -1;
+      int child_end = -1;
+      if (TimesliceCommutesWithProject(*node, begin_col, end_col,
+                                       &child_begin, &child_end)) {
+        // Drop the two endpoint expressions and remap the rest onto
+        // the sliced child (which lost columns child_begin/child_end).
+        std::vector<ExprPtr> exprs;
+        std::vector<Column> names;
+        for (int i = 0; i < arity; ++i) {
+          if (i == begin_col || i == end_col) continue;
+          exprs.push_back(
+              RemapColumns(node->exprs[static_cast<size_t>(i)], [&](int c) {
+                return DropShift(c, child_begin, child_end);
+              }));
+          names.push_back(node->schema.at(static_cast<size_t>(i)));
+        }
+        return MakeProject(
+            PushTimesliceInto(t, node->left, child_begin, child_end),
+            std::move(exprs), std::move(names));
       }
       break;
+    }
     default:
       break;
   }
-  return MakeTimeslice(node, t);
+  return MakeTimesliceAt(node, t, begin_col, end_col);
 }
 
 }  // namespace
 
 PlanPtr PushDownTimeslice(const PlanPtr& plan) {
   if (plan == nullptr || plan->kind != PlanKind::kTimeslice) return plan;
-  return PushTimesliceInto(plan->slice_time, plan->left);
+  auto [begin_col, end_col] = ResolveSliceColumns(*plan);
+  return PushTimesliceInto(plan->slice_time, plan->left, begin_col, end_col);
 }
 
 PlanPtr SnapshotRewriter::RewriteDistinct(const PlanPtr& q) const {

@@ -1,0 +1,786 @@
+#include "sql/transpile.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/str_util.h"
+#include "common/value.h"
+#include "engine/expr.h"
+
+namespace periodk {
+
+namespace {
+
+std::vector<int> Iota(size_t n, int start = 0) {
+  std::vector<int> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = start + static_cast<int>(i);
+  return out;
+}
+
+// --- kSplitAggregate lowering ---------------------------------------------
+
+/// Unfused equivalent of one kSplitAggregate node, mirroring the
+/// rewriter's unfused aggregation path: normalize groups/args into
+/// columns, union a neutral tuple when gap rows are requested (a
+/// constant full-domain tuple for global aggregation, one per observed
+/// group otherwise), split, clamp fragments to the domain (gap rows
+/// declare the result complete over it), aggregate per (group,
+/// fragment) and reorder to the fused operator's column order.
+PlanPtr LowerOneSplitAggregate(const Plan& q, PlanPtr child) {
+  int arity = static_cast<int>(child->schema.size());
+  int nattr = arity - 2;
+  for (int g : q.split_group) {
+    if (g < 0 || g >= nattr) {
+      throw TranspileError(
+          "cannot lower a split-aggregate grouped on temporal columns");
+    }
+  }
+  size_t n_groups = q.split_group.size();
+  bool global = n_groups == 0;
+
+  // Normalized projection: (group..., arg..., a_begin, a_end).  With
+  // gap synthesis, count(*) becomes count(marker) over a constant-1
+  // column so the neutral tuple (all-NULL args) is not counted.
+  std::vector<ExprPtr> proj;
+  std::vector<Column> proj_names;
+  for (size_t g = 0; g < n_groups; ++g) {
+    int c = q.split_group[g];
+    proj.push_back(Col(c, child->schema.at(static_cast<size_t>(c)).name));
+    proj_names.push_back(child->schema.at(static_cast<size_t>(c)));
+  }
+  std::vector<AggExpr> aggs;
+  for (size_t a = 0; a < q.aggs.size(); ++a) {
+    AggExpr agg = q.aggs[a];
+    if (agg.func == AggFunc::kCountStar) {
+      if (q.gap_rows) {
+        agg.func = AggFunc::kCount;
+        agg.arg = LitInt(1);
+      } else {
+        aggs.push_back(agg);
+        continue;
+      }
+    }
+    int arg_col = static_cast<int>(proj.size());
+    proj.push_back(agg.arg);
+    proj_names.emplace_back(StrCat("agg_arg_", a));
+    agg.arg = Col(arg_col, proj_names.back().name);
+    aggs.push_back(std::move(agg));
+  }
+  size_t n_args = proj.size() - n_groups;
+  proj.push_back(Col(nattr, "a_begin"));
+  proj_names.emplace_back("a_begin");
+  proj.push_back(Col(nattr + 1, "a_end"));
+  proj_names.emplace_back("a_end");
+  PlanPtr normalized = MakeProject(child, std::move(proj), proj_names);
+
+  PlanPtr split_input = normalized;
+  if (q.gap_rows) {
+    if (global) {
+      Row neutral(n_args, Value::Null());
+      neutral.push_back(Value::Int(q.domain.tmin));
+      neutral.push_back(Value::Int(q.domain.tmax));
+      Relation constant(normalized->schema);
+      constant.AddRow(std::move(neutral));
+      split_input = MakeUnionAll(normalized, MakeConstant(std::move(constant)));
+    } else {
+      // Per-observed-group neutrals (Teradata-style grouped gaps): a
+      // group is observed iff it has at least one valid-interval row.
+      PlanPtr valid = MakeSelect(child, Lt(Col(nattr), Col(nattr + 1)));
+      PlanPtr groups_only = MakeProjectColumns(std::move(valid), q.split_group);
+      PlanPtr distinct = MakeDistinct(std::move(groups_only));
+      std::vector<ExprPtr> nexprs;
+      for (size_t g = 0; g < n_groups; ++g) {
+        nexprs.push_back(Col(static_cast<int>(g), proj_names[g].name));
+      }
+      for (size_t a2 = 0; a2 < n_args; ++a2) nexprs.push_back(Lit(Value::Null()));
+      nexprs.push_back(LitInt(q.domain.tmin));
+      nexprs.push_back(LitInt(q.domain.tmax));
+      PlanPtr neutral =
+          MakeProject(std::move(distinct), std::move(nexprs), proj_names);
+      split_input = MakeUnionAll(normalized, std::move(neutral));
+    }
+  }
+  PlanPtr split =
+      MakeSplit(std::move(split_input), normalized, Iota(n_groups));
+
+  PlanPtr body = std::move(split);
+  int fb = static_cast<int>(n_groups + n_args);
+  if (q.gap_rows) {
+    // Gap rows declare the result complete over the domain, so the
+    // fused operator clamps fragments to it; unfused, the neutral
+    // tuple's endpoints already cut every straddling interval at the
+    // domain bounds, and dropping the out-of-domain fragments finishes
+    // the clamp.
+    body = MakeSelect(std::move(body),
+                      And(Ge(Col(fb), LitInt(q.domain.tmin)),
+                          Le(Col(fb + 1), LitInt(q.domain.tmax))));
+  }
+
+  std::vector<ExprPtr> group_exprs;
+  std::vector<Column> group_names;
+  for (size_t g = 0; g < n_groups; ++g) {
+    group_exprs.push_back(Col(static_cast<int>(g), proj_names[g].name));
+    group_names.push_back(proj_names[g]);
+  }
+  group_exprs.push_back(Col(fb, "a_begin"));
+  group_names.emplace_back("a_begin");
+  group_exprs.push_back(Col(fb + 1, "a_end"));
+  group_names.emplace_back("a_end");
+  std::vector<AggExpr> named = aggs;
+  for (size_t a = 0; a < named.size(); ++a) {
+    named[a].name = q.schema.at(n_groups + a).name;
+  }
+  PlanPtr agg = MakeAggregate(std::move(body), std::move(group_exprs),
+                              std::move(group_names), std::move(named));
+  // (groups..., b, e, aggs...) -> (groups..., aggs..., b, e).
+  std::vector<int> order;
+  for (size_t g = 0; g < n_groups; ++g) order.push_back(static_cast<int>(g));
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    order.push_back(static_cast<int>(n_groups + 2 + a));
+  }
+  order.push_back(static_cast<int>(n_groups));
+  order.push_back(static_cast<int>(n_groups) + 1);
+  return MakeProjectColumns(std::move(agg), order);
+}
+
+PlanPtr LowerNode(const PlanPtr& p,
+                  std::unordered_map<const Plan*, PlanPtr>& memo) {
+  if (p == nullptr) return p;
+  auto it = memo.find(p.get());
+  if (it != memo.end()) return it->second;
+  PlanPtr left = LowerNode(p->left, memo);
+  PlanPtr right = LowerNode(p->right, memo);
+  PlanPtr out;
+  if (p->kind == PlanKind::kSplitAggregate) {
+    out = LowerOneSplitAggregate(*p, std::move(left));
+  } else if (left == p->left && right == p->right) {
+    out = p;  // untouched subtree: keep the original (and its sharing)
+  } else {
+    switch (p->kind) {
+      case PlanKind::kSelect:
+        out = MakeSelect(std::move(left), p->predicate);
+        break;
+      case PlanKind::kProject:
+        out = MakeProject(std::move(left), p->exprs, p->schema.columns());
+        break;
+      case PlanKind::kJoin:
+        out = MakeJoin(std::move(left), std::move(right), p->predicate);
+        break;
+      case PlanKind::kUnionAll:
+        out = MakeUnionAll(std::move(left), std::move(right));
+        break;
+      case PlanKind::kExceptAll:
+        out = MakeExceptAll(std::move(left), std::move(right));
+        break;
+      case PlanKind::kAntiJoin:
+        out = MakeAntiJoin(std::move(left), std::move(right));
+        break;
+      case PlanKind::kAggregate: {
+        std::vector<Column> names;
+        for (size_t g = 0; g < p->exprs.size(); ++g) {
+          names.push_back(p->schema.at(g));
+        }
+        out = MakeAggregate(std::move(left), p->exprs, std::move(names),
+                            p->aggs);
+        break;
+      }
+      case PlanKind::kDistinct:
+        out = MakeDistinct(std::move(left));
+        break;
+      case PlanKind::kSort:
+        out = MakeSort(std::move(left), p->sort_keys);
+        break;
+      case PlanKind::kCoalesce:
+        out = MakeCoalesce(std::move(left), p->coalesce_impl);
+        break;
+      case PlanKind::kSplit:
+        out = MakeSplit(std::move(left), std::move(right), p->split_group);
+        break;
+      case PlanKind::kTimeslice: {
+        auto [bcol, ecol] = ResolveSliceColumns(*p);
+        out = MakeTimesliceAt(std::move(left), p->slice_time, bcol, ecol);
+        break;
+      }
+      default:
+        throw TranspileError(StrCat("cannot rebuild plan node: ",
+                                    PlanKindName(p->kind)));
+    }
+  }
+  memo.emplace(p.get(), out);
+  return out;
+}
+
+// --- Expression SQL --------------------------------------------------------
+
+using ColNamer = std::function<std::string(int)>;
+
+std::string DoubleSql(double d) {
+  if (std::isnan(d)) {
+    throw TranspileError("NaN literal has no SQL spelling");
+  }
+  if (std::isinf(d)) return d > 0 ? "9e999" : "-9e999";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  std::string s = buf;
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+  return s;
+}
+
+std::string LiteralSql(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return v.AsBool() ? "1" : "0";
+    case ValueType::kInt:
+      return std::to_string(v.AsInt());
+    case ValueType::kDouble:
+      return DoubleSql(v.AsDouble());
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : v.AsString()) {
+        out += c;
+        if (c == '\'') out += '\'';
+      }
+      return out + "'";
+    }
+  }
+  throw TranspileError("unknown literal type");
+}
+
+const char* CompareSql(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string ExprSql(const ExprPtr& e, const ColNamer& col);
+
+/// least/greatest with Postgres NULL-skipping semantics (the engine's),
+/// which SQLite's scalar min/max do not have: fold pairwise through a
+/// CASE that passes the non-NULL side through.
+std::string ExtremumSql(bool least, const std::vector<ExprPtr>& args,
+                        const ColNamer& col) {
+  if (args.empty()) throw TranspileError("least/greatest needs arguments");
+  std::string acc = ExprSql(args[0], col);
+  for (size_t i = 1; i < args.size(); ++i) {
+    std::string b = ExprSql(args[i], col);
+    acc = StrCat("CASE WHEN ", acc, " IS NULL THEN ", b, " WHEN ", b,
+                 " IS NULL THEN ", acc, " WHEN ", acc,
+                 least ? " <= " : " >= ", b, " THEN ", acc, " ELSE ", b,
+                 " END");
+  }
+  return StrCat("(", acc, ")");
+}
+
+std::string ExprSql(const ExprPtr& e, const ColNamer& col) {
+  switch (e->kind) {
+    case ExprKind::kColumn:
+      return col(e->column);
+    case ExprKind::kLiteral:
+      return LiteralSql(e->literal);
+    case ExprKind::kCompare:
+      return StrCat("(", ExprSql(e->children[0], col), " ", CompareSql(e->cmp),
+                    " ", ExprSql(e->children[1], col), ")");
+    case ExprKind::kAnd:
+      return StrCat("(", ExprSql(e->children[0], col), " AND ",
+                    ExprSql(e->children[1], col), ")");
+    case ExprKind::kOr:
+      return StrCat("(", ExprSql(e->children[0], col), " OR ",
+                    ExprSql(e->children[1], col), ")");
+    case ExprKind::kNot:
+      return StrCat("(NOT ", ExprSql(e->children[0], col), ")");
+    case ExprKind::kArith: {
+      std::string a = ExprSql(e->children[0], col);
+      std::string b = ExprSql(e->children[1], col);
+      switch (e->arith) {
+        case ArithOp::kAdd:
+          return StrCat("(", a, " + ", b, ")");
+        case ArithOp::kSub:
+          return StrCat("(", a, " - ", b, ")");
+        case ArithOp::kMul:
+          return StrCat("(", a, " * ", b, ")");
+        case ArithOp::kDiv:
+          // The engine's division is always decimal (and x/0 is NULL,
+          // which real division already gives in SQL).
+          return StrCat("(CAST(", a, " AS REAL) / CAST(", b, " AS REAL))");
+        case ArithOp::kMod:
+          return StrCat("(", a, " % ", b, ")");
+      }
+      throw TranspileError("unknown arithmetic operator");
+    }
+    case ExprKind::kNeg:
+      return StrCat("(-", ExprSql(e->children[0], col), ")");
+    case ExprKind::kFunc:
+      switch (e->func) {
+        case ScalarFunc::kLeast:
+          return ExtremumSql(true, e->children, col);
+        case ScalarFunc::kGreatest:
+          return ExtremumSql(false, e->children, col);
+        case ScalarFunc::kAbs:
+          return StrCat("abs(", ExprSql(e->children[0], col), ")");
+        case ScalarFunc::kYear:
+          // Integer day / 365 with the engine's 1992 epoch; both C++
+          // and SQL integer division truncate toward zero.
+          return StrCat("(1992 + (", ExprSql(e->children[0], col),
+                        " / 365))");
+        case ScalarFunc::kIfNull:
+          return StrCat("ifnull(", ExprSql(e->children[0], col), ", ",
+                        ExprSql(e->children[1], col), ")");
+      }
+      throw TranspileError("unknown scalar function");
+    case ExprKind::kCase: {
+      std::string out = "(CASE";
+      size_t n_branches = e->children.size() / 2;
+      for (size_t i = 0; i < n_branches; ++i) {
+        out += StrCat(" WHEN ", ExprSql(e->children[2 * i], col), " THEN ",
+                      ExprSql(e->children[2 * i + 1], col));
+      }
+      if (e->children.size() % 2 == 1) {
+        out += StrCat(" ELSE ", ExprSql(e->children.back(), col));
+      }
+      return out + " END)";
+    }
+    case ExprKind::kIn: {
+      std::string needle = ExprSql(e->children[0], col);
+      if (e->children.size() == 1) {
+        // IN () is false (NOT IN () true) unless the needle is NULL --
+        // spelled out because SQL engines disagree on the empty list.
+        return StrCat("(CASE WHEN ", needle, " IS NULL THEN NULL ELSE ",
+                      e->negated ? "1" : "0", " END)");
+      }
+      std::string out = StrCat("(", needle, e->negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < e->children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += ExprSql(e->children[i], col);
+      }
+      return out + "))";
+    }
+    case ExprKind::kBetween:
+      return StrCat("(", ExprSql(e->children[0], col),
+                    e->negated ? " NOT BETWEEN " : " BETWEEN ",
+                    ExprSql(e->children[1], col), " AND ",
+                    ExprSql(e->children[2], col), ")");
+    case ExprKind::kIsNull:
+      return StrCat("(", ExprSql(e->children[0], col),
+                    e->negated ? " IS NOT NULL" : " IS NULL", ")");
+    case ExprKind::kLike:
+      return StrCat("(", ExprSql(e->children[0], col),
+                    e->negated ? " NOT LIKE " : " LIKE ",
+                    ExprSql(e->children[1], col), ")");
+  }
+  throw TranspileError("unknown expression kind");
+}
+
+std::string AggSql(const AggExpr& agg, const ColNamer& col) {
+  switch (agg.func) {
+    case AggFunc::kCountStar:
+      return "COUNT(*)";
+    case AggFunc::kCount:
+      return StrCat("COUNT(", ExprSql(agg.arg, col), ")");
+    case AggFunc::kSum:
+      return StrCat("SUM(", ExprSql(agg.arg, col), ")");
+    case AggFunc::kAvg:
+      return StrCat("AVG(", ExprSql(agg.arg, col), ")");
+    case AggFunc::kMin:
+      return StrCat("MIN(", ExprSql(agg.arg, col), ")");
+    case AggFunc::kMax:
+      return StrCat("MAX(", ExprSql(agg.arg, col), ")");
+  }
+  throw TranspileError("unknown aggregate function");
+}
+
+std::string QuoteIdent(const std::string& name) {
+  std::string out = "\"";
+  for (char c : name) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  return out + "\"";
+}
+
+// --- Plan SQL --------------------------------------------------------------
+
+class Transpiler {
+ public:
+  SqlScript Run(const PlanPtr& root) {
+    CountRefs(root);
+    SqlScript out;
+    out.query = Tr(root);
+    out.setup = std::move(stages_);
+    return out;
+  }
+
+ private:
+  void CountRefs(const PlanPtr& p) {
+    if (p == nullptr) return;
+    if (++refs_[p.get()] > 1) return;
+    CountRefs(p->left);
+    CountRefs(p->right);
+  }
+
+  std::string NewName(const char* stem) { return StrCat(stem, next_++); }
+
+  /// Materializes `sql` as temp table `name`.  NOT a CTE: SQLite
+  /// expands every CTE reference at parse time, so multiply-referenced
+  /// stages would make parsing exponential in the pipeline depth.
+  void PushStage(const std::string& name, const std::string& sql) {
+    stages_.push_back(StrCat("CREATE TEMP TABLE ", name, " AS ", sql, ";"));
+  }
+
+  /// "c0, c1, ..." over `cols`, optionally alias-qualified.
+  static std::string ColList(const std::vector<int>& cols,
+                             const std::string& qual = "") {
+    std::string out;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (i > 0) out += ", ";
+      if (!qual.empty()) out += qual + ".";
+      out += StrCat("c", cols[i]);
+    }
+    return out;
+  }
+
+  /// Column namer over a single aliased input with columns c0..cN-1.
+  static ColNamer Namer(const std::string& alias) {
+    return [alias](int c) { return StrCat(alias, ".c", c); };
+  }
+
+  /// A statement computing `p` (columns c0..cN-1).  Shared nodes are
+  /// materialized once as a stage and referenced thereafter.
+  std::string Tr(const PlanPtr& p) {
+    auto it = memo_.find(p.get());
+    if (it != memo_.end()) return "SELECT * FROM " + it->second;
+    std::string sql = TrNode(*p);
+    if (refs_[p.get()] > 1) {
+      std::string name = NewName("q");
+      PushStage(name, sql);
+      memo_.emplace(p.get(), name);
+      return "SELECT * FROM " + name;
+    }
+    return sql;
+  }
+
+  std::string TrNode(const Plan& p) {
+    int arity = static_cast<int>(p.schema.size());
+    switch (p.kind) {
+      case PlanKind::kScan:
+        return StrCat("SELECT ", ColList(Iota(p.schema.size())), " FROM ",
+                      QuoteIdent(p.table));
+      case PlanKind::kConstant:
+        return TrConstant(p);
+      case PlanKind::kSelect: {
+        std::string a = NewName("s");
+        return StrCat("SELECT * FROM (", Tr(p.left), ") AS ", a, " WHERE ",
+                      ExprSql(p.predicate, Namer(a)));
+      }
+      case PlanKind::kProject: {
+        std::string a = NewName("s");
+        std::string items;
+        for (size_t i = 0; i < p.exprs.size(); ++i) {
+          if (i > 0) items += ", ";
+          items += StrCat(ExprSql(p.exprs[i], Namer(a)), " AS c", i);
+        }
+        if (p.exprs.empty()) {
+          throw TranspileError("cannot transpile a zero-column projection");
+        }
+        return StrCat("SELECT ", items, " FROM (", Tr(p.left), ") AS ", a);
+      }
+      case PlanKind::kJoin: {
+        int nl = static_cast<int>(p.left->schema.size());
+        std::string a = NewName("s");
+        std::string b = NewName("s");
+        std::string items;
+        for (int i = 0; i < arity; ++i) {
+          if (i > 0) items += ", ";
+          items += i < nl ? StrCat(a, ".c", i, " AS c", i)
+                          : StrCat(b, ".c", i - nl, " AS c", i);
+        }
+        ColNamer namer = [=](int c) {
+          return c < nl ? StrCat(a, ".c", c) : StrCat(b, ".c", c - nl);
+        };
+        return StrCat("SELECT ", items, " FROM (", Tr(p.left), ") AS ", a,
+                      " CROSS JOIN (", Tr(p.right), ") AS ", b, " WHERE ",
+                      ExprSql(p.predicate, namer));
+      }
+      case PlanKind::kUnionAll: {
+        std::string a = NewName("s");
+        std::string b = NewName("s");
+        return StrCat("SELECT * FROM (", Tr(p.left), ") AS ", a,
+                      " UNION ALL SELECT * FROM (", Tr(p.right), ") AS ", b);
+      }
+      case PlanKind::kExceptAll:
+        return TrExceptAll(p);
+      case PlanKind::kAntiJoin:
+        return TrAntiJoin(p);
+      case PlanKind::kAggregate:
+        return TrAggregate(p);
+      case PlanKind::kDistinct: {
+        std::string a = NewName("s");
+        return StrCat("SELECT DISTINCT * FROM (", Tr(p.left), ") AS ", a);
+      }
+      case PlanKind::kSort:
+        // A multiset comparison ignores order, so ORDER BY would only
+        // constrain the oracle's output order for nothing.
+        return Tr(p.left);
+      case PlanKind::kCoalesce:
+        return TrCoalesce(p);
+      case PlanKind::kSplit:
+        return TrSplit(p);
+      case PlanKind::kTimeslice:
+        return TrTimeslice(p);
+      case PlanKind::kSplitAggregate:
+        throw TranspileError(
+            "kSplitAggregate must be lowered before transpiling "
+            "(use TranspilePlanToSql)");
+    }
+    throw TranspileError(StrCat("unknown plan kind: ", PlanKindName(p.kind)));
+  }
+
+  std::string TrConstant(const Plan& p) {
+    size_t k = p.schema.size();
+    if (k == 0) {
+      throw TranspileError("cannot transpile a zero-arity constant");
+    }
+    const Relation& rel = *p.constant;
+    if (rel.empty()) {
+      std::string items;
+      for (size_t i = 0; i < k; ++i) {
+        if (i > 0) items += ", ";
+        items += StrCat("NULL AS c", i);
+      }
+      return StrCat("SELECT ", items, " WHERE 1 = 0");
+    }
+    std::string out;
+    for (size_t r = 0; r < rel.size(); ++r) {
+      if (r > 0) out += " UNION ALL ";
+      out += "SELECT ";
+      for (size_t i = 0; i < k; ++i) {
+        if (i > 0) out += ", ";
+        out += LiteralSql(rel.rows()[r][i]);
+        if (r == 0) out += StrCat(" AS c", i);
+      }
+    }
+    return out;
+  }
+
+  /// Bag difference: each right row cancels one left duplicate.  Left
+  /// duplicates are numbered within their value class; a copy survives
+  /// iff its number exceeds the count of matching right rows (IS for
+  /// the engine's NULL-safe row equality).
+  std::string TrExceptAll(const Plan& p) {
+    int k = static_cast<int>(p.schema.size());
+    if (k == 0) throw TranspileError("zero-arity difference");
+    std::string a = NewName("s");
+    std::string cols = ColList(Iota(static_cast<size_t>(k)));
+    std::string numbered =
+        StrCat("SELECT *, ROW_NUMBER() OVER (PARTITION BY ", cols,
+               ") AS rn FROM (", Tr(p.left), ") AS ", a);
+    std::string match;
+    for (int i = 0; i < k; ++i) {
+      if (i > 0) match += " AND ";
+      match += StrCat("r.c", i, " IS l.c", i);
+    }
+    return StrCat("SELECT ", cols, " FROM (", numbered,
+                  ") AS l WHERE l.rn > (SELECT COUNT(*) FROM (", Tr(p.right),
+                  ") AS r WHERE ", match, ")");
+  }
+
+  /// Exact-row anti join under the engine's NULL-safe row equality.
+  std::string TrAntiJoin(const Plan& p) {
+    int k = static_cast<int>(p.schema.size());
+    if (k == 0) throw TranspileError("zero-arity anti join");
+    std::string match;
+    for (int i = 0; i < k; ++i) {
+      if (i > 0) match += " AND ";
+      match += StrCat("r.c", i, " IS l.c", i);
+    }
+    return StrCat("SELECT * FROM (", Tr(p.left),
+                  ") AS l WHERE NOT EXISTS (SELECT 1 FROM (", Tr(p.right),
+                  ") AS r WHERE ", match, ")");
+  }
+
+  std::string TrAggregate(const Plan& p) {
+    std::string a = NewName("s");
+    ColNamer namer = Namer(a);
+    std::string items;
+    size_t n_groups = p.exprs.size();
+    for (size_t g = 0; g < n_groups; ++g) {
+      if (g > 0) items += ", ";
+      items += StrCat(ExprSql(p.exprs[g], namer), " AS c", g);
+    }
+    for (size_t i = 0; i < p.aggs.size(); ++i) {
+      if (!items.empty()) items += ", ";
+      items += StrCat(AggSql(p.aggs[i], namer), " AS c", n_groups + i);
+    }
+    std::string out =
+        StrCat("SELECT ", items, " FROM (", Tr(p.left), ") AS ", a);
+    if (n_groups > 0) {
+      out += " GROUP BY ";
+      for (size_t g = 0; g < n_groups; ++g) {
+        if (g > 0) out += ", ";
+        out += std::to_string(g + 1);
+      }
+    }
+    return out;
+  }
+
+  std::string TrTimeslice(const Plan& p) {
+    auto [bcol, ecol] = ResolveSliceColumns(p);
+    std::string a = NewName("s");
+    std::string items;
+    int out_col = 0;
+    int child_arity = static_cast<int>(p.left->schema.size());
+    for (int c = 0; c < child_arity; ++c) {
+      if (c == bcol || c == ecol) continue;
+      if (out_col > 0) items += ", ";
+      items += StrCat(a, ".c", c, " AS c", out_col++);
+    }
+    return StrCat("SELECT ", items, " FROM (", Tr(p.left), ") AS ", a,
+                  " WHERE ", a, ".c", bcol, " <= ", p.slice_time, " AND ",
+                  p.slice_time, " < ", a, ".c", ecol);
+  }
+
+  /// Multiset coalescing (Def 8.2) as +1/-1 endpoint events, grouped
+  /// into net-delta changepoints, turned into maximal segments with
+  /// LEAD, and re-duplicated by joining each segment back against the
+  /// source rows covering it (one output copy per covering row — the
+  /// segment's open-interval count, by construction).
+  std::string TrCoalesce(const Plan& p) {
+    int k = static_cast<int>(p.schema.size());
+    int d = k - 2;
+    std::string child = Tr(p.left);
+    std::string base = NewName("co");
+    std::string src = base + "_src";
+    std::string ev = base + "_ev";
+    std::string chg = base + "_chg";
+    std::string seg = base + "_seg";
+    std::string a = NewName("s");
+    PushStage(src, StrCat("SELECT * FROM (", child, ") AS ", a, " WHERE ", a,
+                          ".c", d, " < ", a, ".c", d + 1));
+    std::string data = ColList(Iota(static_cast<size_t>(d)));
+    std::string data_pfx = d > 0 ? data + ", " : "";
+    PushStage(ev, StrCat("SELECT ", data_pfx, "c", d,
+                         " AS t, 1 AS delta FROM ", src, " UNION ALL SELECT ",
+                         data_pfx, "c", d + 1, ", -1 FROM ", src));
+    PushStage(chg, StrCat("SELECT ", data_pfx, "t, SUM(delta) AS net FROM ",
+                          ev, " GROUP BY ", data_pfx,
+                          "t HAVING SUM(delta) <> 0"));
+    std::string part = d > 0 ? StrCat("PARTITION BY ", data, " ") : "";
+    PushStage(seg, StrCat("SELECT ", data_pfx, "t AS fb, LEAD(t) OVER (",
+                          part, "ORDER BY t) AS fe FROM ", chg));
+    std::string items;
+    for (int i = 0; i < d; ++i) items += StrCat("g.c", i, " AS c", i, ", ");
+    items += StrCat("g.fb AS c", d, ", g.fe AS c", d + 1);
+    std::string cond = StrCat("r.c", d, " <= g.fb AND g.fb < r.c", d + 1);
+    for (int i = 0; i < d; ++i) cond += StrCat(" AND r.c", i, " IS g.c", i);
+    return StrCat("SELECT ", items, " FROM ", seg, " AS g JOIN ", src,
+                  " AS r ON ", cond);
+  }
+
+  /// N_G (Def 8.3): valid left rows are cut at every distinct endpoint
+  /// of valid G-group-mates (from both inputs) strictly inside their
+  /// interval; consecutive cut points delimit the output fragments.
+  std::string TrSplit(const Plan& p) {
+    int k = static_cast<int>(p.schema.size());
+    int d = k - 2;
+    std::string base = NewName("sp");
+    std::string lsrc = base + "_l";
+    std::string rsrc = base + "_r";
+    std::string pts = base + "_pts";
+    std::string lrows = base + "_rows";
+    std::string cuts = base + "_cuts";
+    std::string frags = base + "_frag";
+    {
+      std::string child = Tr(p.left);
+      std::string a = NewName("s");
+      PushStage(lsrc, StrCat("SELECT * FROM (", child, ") AS ", a, " WHERE ",
+                             a, ".c", d, " < ", a, ".c", d + 1));
+    }
+    {
+      std::string child = Tr(p.right);
+      std::string a = NewName("s");
+      PushStage(rsrc, StrCat("SELECT * FROM (", child, ") AS ", a, " WHERE ",
+                             a, ".c", d, " < ", a, ".c", d + 1));
+    }
+    size_t n_groups = p.split_group.size();
+    auto group_items = [&](int endpoint_col, bool with_alias) {
+      std::string out;
+      for (size_t g = 0; g < n_groups; ++g) {
+        out += StrCat("c", p.split_group[g]);
+        if (with_alias) out += StrCat(" AS g", g);
+        out += ", ";
+      }
+      out += StrCat("c", endpoint_col);
+      if (with_alias) out += " AS t";
+      return out;
+    };
+    PushStage(pts,
+              StrCat("SELECT DISTINCT * FROM (SELECT ", group_items(d, true),
+                     " FROM ", lsrc, " UNION ALL SELECT ",
+                     group_items(d + 1, false), " FROM ", lsrc,
+                     " UNION ALL SELECT ", group_items(d, false), " FROM ",
+                     rsrc, " UNION ALL SELECT ", group_items(d + 1, false),
+                     " FROM ", rsrc, ") AS u"));
+    PushStage(lrows,
+              StrCat("SELECT *, ROW_NUMBER() OVER () AS rid FROM ", lsrc));
+    std::string match = StrCat("p.t > l.c", d, " AND p.t < l.c", d + 1);
+    for (size_t g = 0; g < n_groups; ++g) {
+      match += StrCat(" AND p.g", g, " IS l.c", p.split_group[g]);
+    }
+    PushStage(cuts, StrCat("SELECT rid, c", d, " AS t FROM ", lrows,
+                           " UNION ALL SELECT l.rid, p.t FROM ", lrows,
+                           " AS l JOIN ", pts, " AS p ON ", match));
+    PushStage(frags,
+              StrCat("SELECT rid, t AS fb, LEAD(t) OVER (PARTITION BY rid",
+                     " ORDER BY t) AS fe FROM ", cuts));
+    std::string items;
+    for (int i = 0; i < d; ++i) items += StrCat("l.c", i, " AS c", i, ", ");
+    items += StrCat("f.fb AS c", d, ", COALESCE(f.fe, l.c", d + 1, ") AS c",
+                    d + 1);
+    return StrCat("SELECT ", items, " FROM ", lrows, " AS l JOIN ", frags,
+                  " AS f ON f.rid = l.rid");
+  }
+
+  std::unordered_map<const Plan*, int> refs_;
+  std::unordered_map<const Plan*, std::string> memo_;
+  std::vector<std::string> stages_;
+  int next_ = 0;
+};
+
+}  // namespace
+
+PlanPtr LowerSplitAggregates(const PlanPtr& plan) {
+  std::unordered_map<const Plan*, PlanPtr> memo;
+  return LowerNode(plan, memo);
+}
+
+SqlScript TranspilePlan(const PlanPtr& plan) {
+  if (plan == nullptr) throw TranspileError("null plan");
+  Transpiler t;
+  return t.Run(LowerSplitAggregates(plan));
+}
+
+std::string TranspilePlanToSql(const PlanPtr& plan) {
+  SqlScript script = TranspilePlan(plan);
+  std::string out;
+  for (const std::string& stage : script.setup) out += stage + "\n";
+  return out + script.query;
+}
+
+}  // namespace periodk

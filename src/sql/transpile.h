@@ -1,0 +1,77 @@
+// Plan -> SQL transpiler for differential testing against an external
+// SQL engine (tests/sqlite_oracle.*).  Any logical Plan the executor can
+// run -- including full REWR output with its temporal operators over
+// PERIODENC-encoded relations -- compiles to a self-contained SQL
+// script in a portable dialect (subqueries, window functions; SQLite
+// >= 3.25 or PostgreSQL): zero or more CREATE TEMP TABLE stages
+// followed by one final SELECT.
+//
+// Conventions:
+//  * Every (sub)select aliases its output columns positionally as
+//    c0..cN-1, and base tables are expected to exist with exactly those
+//    column names (SqliteOracle::LoadTable creates them that way), so
+//    composition never depends on source column names.
+//  * Shared subplans (plans are DAGs: REWR references rewritten inputs
+//    several times) and the pipelines behind the temporal operators
+//    become CREATE TEMP TABLE stages rather than CTEs: SQLite expands
+//    every CTE reference at parse time, so a chain of multiply-
+//    referenced CTEs parses in exponential time, while temp-table
+//    stages keep the script linear in the DAG size.
+//  * kSplitAggregate is first lowered to the equivalent unfused
+//    Split + Aggregate plan (mirroring the rewriter's unfused path,
+//    including the union-with-neutral-tuple trick and domain clamping),
+//    so the SQL side never needs a fused operator.
+//
+// Known, deliberate semantic gaps (all unreachable from the fuzzer's
+// grammar, which is type-stable over integers and NULLs):
+//  * The engine returns NULL when comparing values of incomparable
+//    types (int vs string); SQL engines apply a cross-type total order.
+//  * The engine raises on arithmetic over non-numeric values and on
+//    non-integer timeslice endpoints; SQL coerces or filters instead.
+//  * CASE WHEN in the engine requires a boolean condition; SQL treats
+//    any non-zero numeric as true.
+#ifndef PERIODK_SQL_TRANSPILE_H_
+#define PERIODK_SQL_TRANSPILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ra/plan.h"
+
+namespace periodk {
+
+/// Thrown when a plan contains a construct the transpiler cannot
+/// express in SQL (zero-arity constants, unknown node kinds).
+class TranspileError : public EngineError {
+ public:
+  explicit TranspileError(const std::string& what) : EngineError(what) {}
+};
+
+/// Rewrites every kSplitAggregate node into the equivalent unfused
+/// Split + Aggregate subplan (with neutral-tuple gap synthesis and
+/// domain clamping where gap_rows is set).  Semantics-preserving for
+/// plans whose split groups are non-temporal columns; exposed so tests
+/// can check the lowering against the fused operator directly.
+PlanPtr LowerSplitAggregates(const PlanPtr& plan);
+
+/// A transpiled plan: `setup` statements (CREATE TEMP TABLE ...;) to
+/// run in order, then `query`, a single SELECT producing the plan's
+/// result with columns c0..cN-1 (no trailing semicolon).  Row order is
+/// unspecified; compare under bag equality.
+struct SqlScript {
+  std::vector<std::string> setup;
+  std::string query;
+};
+
+/// Compiles `plan` to a SQL script.  Throws TranspileError on
+/// untranspilable constructs.
+SqlScript TranspilePlan(const PlanPtr& plan);
+
+/// TranspilePlan flattened to one newline-joined script string (for
+/// reproducer dumps and logs; the final SELECT has no semicolon).
+std::string TranspilePlanToSql(const PlanPtr& plan);
+
+}  // namespace periodk
+
+#endif  // PERIODK_SQL_TRANSPILE_H_

@@ -15,6 +15,12 @@ struct RandomQueryConfig {
   bool allow_aggregate = true;
   bool allow_difference = true;
   bool allow_distinct = true;
+  // Fuzzing knobs (all off by default; a zero chance draws no random
+  // numbers, so enabling none of them leaves the plan stream of
+  // existing seeds bit-identical).
+  double null_literal_chance = 0.0;  // NULL literals in scalars/predicates
+  double union_dup_chance = 0.0;     // UNION ALL of one shared subplan
+  double period_scan_chance = 0.0;   // scan leaves over period table "p"
 };
 
 class RandomQueryGenerator {
@@ -40,6 +46,13 @@ class RandomQueryGenerator {
         return MakeProjectColumns(join, {1, 3});
       }
       case 4:
+        if (config_.union_dup_chance > 0 &&
+            rng_->Chance(config_.union_dup_chance)) {
+          // Duplicate amplifier: both branches are the *same* subplan,
+          // doubling every multiplicity (and exercising DAG sharing).
+          PlanPtr sub = Generate(depth - 1);
+          return MakeUnionAll(sub, sub);
+        }
         return MakeUnionAll(Generate(depth - 1), Generate(depth - 1));
       case 5:
         if (config_.allow_difference) {
@@ -57,6 +70,12 @@ class RandomQueryGenerator {
 
  private:
   PlanPtr Scan() {
+    if (config_.period_scan_chance > 0 &&
+        rng_->Chance(config_.period_scan_chance)) {
+      // Period table (AddRandomPeriodTable): stored with non-trailing
+      // interval columns; the snapshot-level scan sees only the data.
+      return MakeScan("p", Schema::FromNames({"a", "b"}));
+    }
     return MakeScan(rng_->Chance(0.5) ? "r" : "s",
                     Schema::FromNames({"a", "b"}));
   }
@@ -64,6 +83,10 @@ class RandomQueryGenerator {
   int RandomCol() { return static_cast<int>(rng_->Uniform(2)); }
 
   ExprPtr RandomScalar() {
+    if (config_.null_literal_chance > 0 &&
+        rng_->Chance(config_.null_literal_chance)) {
+      return Lit(Value::Null());
+    }
     switch (rng_->Uniform(3)) {
       case 0:
         return Col(RandomCol());
@@ -77,8 +100,11 @@ class RandomQueryGenerator {
   ExprPtr RandomPredicate() {
     CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
                        CompareOp::kGe};
-    return Cmp(ops[rng_->Uniform(4)], Col(RandomCol()),
-               LitInt(rng_->Range(0, 3)));
+    ExprPtr rhs = config_.null_literal_chance > 0 &&
+                          rng_->Chance(config_.null_literal_chance)
+                      ? Lit(Value::Null())  // 3VL: never satisfied
+                      : LitInt(rng_->Range(0, 3));
+    return Cmp(ops[rng_->Uniform(4)], Col(RandomCol()), std::move(rhs));
   }
 
   PlanPtr Aggregate(PlanPtr child) {
@@ -127,6 +153,35 @@ inline Catalog RandomEncodedCatalog(Rng* rng, const TimeDomain& domain,
     catalog.Put(name, std::move(rel));
   }
   return catalog;
+}
+
+/// Adds a random *period table* "p" to the catalog: same row
+/// distribution as RandomEncodedCatalog, but stored with its interval
+/// columns in non-trailing positions ({a_begin, a, a_end, b}).  Returns
+/// the PERIODENC view -- a projection reordering to {a, b, a_begin,
+/// a_end} -- for SnapshotRewriter's encoded_tables map, so rewrites of
+/// Scan("p") exercise the pushdown-through-projection paths.
+inline PlanPtr AddRandomPeriodTable(Rng* rng, Catalog* catalog,
+                                    const TimeDomain& domain,
+                                    int max_rows = 12,
+                                    double null_chance = 0.0,
+                                    double empty_validity_chance = 0.0) {
+  Schema stored = Schema::FromNames({"a_begin", "a", "a_end", "b"});
+  Relation rel(stored);
+  int n = static_cast<int>(rng->Uniform(max_rows));
+  for (int i = 0; i < n; ++i) {
+    TimePoint b = rng->Range(domain.tmin, domain.tmax - 2);
+    TimePoint e = rng->Chance(empty_validity_chance)
+                      ? rng->Range(domain.tmin, b)
+                      : rng->Range(b + 1, domain.tmax - 1);
+    auto data = [&] {
+      return rng->Chance(null_chance) ? Value::Null()
+                                      : Value::Int(rng->Range(0, 3));
+    };
+    rel.AddRow({Value::Int(b), data(), Value::Int(e), data()});
+  }
+  catalog->Put("p", std::move(rel));
+  return MakeProjectColumns(MakeScan("p", stored), {1, 3, 0, 2});
 }
 
 /// Random snapshot K-relation with `max_tuples` distinct tuples, each

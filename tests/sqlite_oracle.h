@@ -1,0 +1,81 @@
+// Embedded SQLite oracle for differential testing (docs/testing.md).
+//
+// The oracle loads the same base relations as the engine's Catalog into
+// an in-memory SQLite database (every table "name" gets positional
+// columns c0..cN-1, matching the transpiler's column convention), runs
+// SQL produced by TranspilePlanToSql, and reads the result back as a
+// Relation for multiset comparison against the executor's output.
+//
+// Comparison is order-insensitive: both sides are canonically sorted,
+// engine booleans normalize to SQL integers, and doubles compare with a
+// tiny relative tolerance to absorb accumulation-order drift in SUM/AVG.
+#ifndef PERIODK_TESTS_SQLITE_ORACLE_H_
+#define PERIODK_TESTS_SQLITE_ORACLE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "engine/executor.h"
+#include "engine/relation.h"
+#include "sql/transpile.h"
+
+struct sqlite3;
+
+namespace periodk {
+
+/// One in-memory SQLite database.  Not thread-safe; create one per test.
+class SqliteOracle {
+ public:
+  /// Opens a fresh :memory: database with case-sensitive LIKE (the
+  /// engine's LIKE is case-sensitive).  Throws EngineError on failure.
+  SqliteOracle();
+  ~SqliteOracle();
+
+  SqliteOracle(const SqliteOracle&) = delete;
+  SqliteOracle& operator=(const SqliteOracle&) = delete;
+
+  /// Creates table `name`(c0..cN-1) and inserts every row, binding
+  /// values natively (NULL / INTEGER / REAL / TEXT; engine booleans
+  /// become 0/1).  Replaces any previous table of the same name.
+  void LoadTable(const std::string& name, const Relation& relation);
+
+  /// LoadTable for every table in the catalog.
+  void LoadCatalog(const Catalog& catalog);
+
+  /// Runs one or more non-SELECT statements (DDL, temp-table stages).
+  void Execute(const std::string& sql);
+
+  /// Runs one SELECT statement and returns its rows; every column must
+  /// be NULL / INTEGER / REAL / TEXT.  `arity` is the expected column
+  /// count (mismatch throws — it means the transpiler and the plan
+  /// disagree about the output schema).
+  Relation Query(const std::string& sql, size_t arity);
+
+  /// Runs a transpiled script: every setup stage, then the query.
+  /// Stages persist in this database, so run each script in a fresh
+  /// oracle (stage names are unique per transpilation, not globally).
+  Relation RunScript(const SqlScript& script, size_t arity);
+
+ private:
+  sqlite3* db_ = nullptr;
+};
+
+/// Multiset comparison with canonical ordering: returns std::nullopt
+/// when `engine` and `oracle` are equal as bags (after normalizing
+/// engine booleans to integers, with int==double numeric equality and a
+/// ~1e-9 relative tolerance between doubles), else a human-readable
+/// description of the first divergence.
+std::optional<std::string> DiffRelations(const Relation& engine,
+                                         const Relation& oracle);
+
+/// A self-contained SQLite reproducer script: CREATE TABLE + INSERT
+/// statements for every base table, then the query itself.  Feed to
+/// `sqlite3 :memory: < repro.sql` to replay the oracle side.
+std::string BuildReproducerSql(
+    const std::map<std::string, Relation>& tables, const std::string& sql,
+    const std::string& header_comment = "");
+
+}  // namespace periodk
+
+#endif  // PERIODK_TESTS_SQLITE_ORACLE_H_

@@ -1,0 +1,435 @@
+// Differential testing against the embedded SQLite oracle
+// (docs/testing.md): randomized snapshot queries are rewritten with
+// REWR, executed by the engine, transpiled to SQL
+// (src/sql/transpile.h), executed by SQLite over the same data, and
+// compared as multisets.  A divergence is shrunk to a minimal plan and
+// minimal data, then dumped as a self-contained SQL reproducer
+// (differential_repro_<seed>.sql in the working directory).
+//
+// Seed count: PERIODK_DIFF_SEEDS (default 500).  Operator-kind
+// coverage is asserted only at >= 300 seeds so a quick
+// PERIODK_DIFF_SEEDS=20 debugging run still passes.
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "engine/executor.h"
+#include "random_query.h"
+#include "rewrite/rewriter.h"
+#include "sql/transpile.h"
+#include "sqlite_oracle.h"
+
+namespace periodk {
+namespace {
+
+constexpr TimeDomain kDomain{0, 16};
+
+using EngineFn = std::function<Relation(const PlanPtr&, const Catalog&)>;
+
+int SeedCount() {
+  const char* env = std::getenv("PERIODK_DIFF_SEEDS");
+  if (env != nullptr && std::atoi(env) > 0) return std::atoi(env);
+  return 500;
+}
+
+Relation PlainEngine(const PlanPtr& plan, const Catalog& catalog) {
+  return Execute(plan, catalog, ExecOptions{});
+}
+
+/// One generated differential case: data + rewritten multiset plan.
+struct FuzzCase {
+  Catalog catalog;
+  PlanPtr plan;
+  std::string description;
+};
+
+FuzzCase BuildCase(int seed) {
+  Rng rng(static_cast<uint64_t>(seed) * 0x9e3779b97f4a7c15ULL + 0x5107ab);
+  FuzzCase out;
+  out.catalog = RandomEncodedCatalog(&rng, kDomain, /*max_rows=*/10,
+                                     /*null_chance=*/0.15,
+                                     /*empty_validity_chance=*/0.15);
+  PlanPtr encoded_p = AddRandomPeriodTable(&rng, &out.catalog, kDomain,
+                                           /*max_rows=*/10,
+                                           /*null_chance=*/0.15,
+                                           /*empty_validity_chance=*/0.15);
+
+  RewriteOptions options;
+  SnapshotSemantics all[] = {
+      SnapshotSemantics::kPeriodK, SnapshotSemantics::kAlignment,
+      SnapshotSemantics::kIntervalPreservation, SnapshotSemantics::kTeradata};
+  options.semantics = all[rng.Uniform(4)];
+  options.hoist_coalesce = rng.Chance(0.5);
+  options.fuse_aggregation = rng.Chance(0.5);
+  options.pre_aggregate = rng.Chance(0.5);
+  options.final_coalesce = rng.Chance(0.7);
+  options.coalesce_impl =
+      rng.Chance(0.5) ? CoalesceImpl::kNative : CoalesceImpl::kWindow;
+
+  RandomQueryConfig qc;
+  qc.null_literal_chance = 0.15;
+  qc.union_dup_chance = 0.2;
+  qc.period_scan_chance = 0.25;
+  // Snapshot difference is N/A under Teradata semantics (Table 1).
+  qc.allow_difference = options.semantics != SnapshotSemantics::kTeradata;
+
+  RandomQueryGenerator gen(&rng, qc);
+  int depth = 3 + static_cast<int>(rng.Uniform(2));
+  PlanPtr snapshot_query = gen.Generate(depth);
+  SnapshotRewriter rewriter(kDomain, options, {{"p", encoded_p}});
+  PlanPtr plan = rewriter.Rewrite(snapshot_query);
+
+  std::string wrappers;
+  if (rng.Chance(0.2)) {
+    TimePoint t = rng.Range(kDomain.tmin, kDomain.tmax);
+    plan = MakeTimeslice(plan, t);
+    if (rng.Chance(0.5)) {
+      plan = PushDownTimeslice(plan);
+      wrappers += StrCat(" timeslice@", t, "(pushed)");
+    } else {
+      wrappers += StrCat(" timeslice@", t);
+    }
+  }
+  if (rng.Chance(0.2)) {
+    plan = MakeSort(plan, {SortKey{0, rng.Chance(0.5)}});
+    wrappers += " sort";
+  }
+  out.plan = plan;
+  out.description =
+      StrCat("seed ", seed, " semantics=",
+             SnapshotSemanticsName(options.semantics),
+             " hoist=", options.hoist_coalesce, " fuse=",
+             options.fuse_aggregation, " preagg=", options.pre_aggregate,
+             " final_coalesce=", options.final_coalesce, " impl=",
+             options.coalesce_impl == CoalesceImpl::kNative ? "native"
+                                                            : "window",
+             " depth=", depth, wrappers);
+  return out;
+}
+
+/// Runs `plan` through the engine and the oracle; nullopt = match.
+std::optional<std::string> Diverges(const PlanPtr& plan,
+                                    const Catalog& catalog,
+                                    const EngineFn& engine) {
+  SqlScript script = TranspilePlan(plan);
+  SqliteOracle oracle;
+  oracle.LoadCatalog(catalog);
+  Relation ours = engine(plan, catalog);
+  Relation theirs = oracle.RunScript(script, plan->schema.size());
+  return DiffRelations(ours, theirs);
+}
+
+bool DivergesQuietly(const PlanPtr& plan, const Catalog& catalog,
+                     const EngineFn& engine) {
+  try {
+    return Diverges(plan, catalog, engine).has_value();
+  } catch (const std::exception&) {
+    return false;  // an error is not a clean reproduction of the diff
+  }
+}
+
+/// Greedy structural shrink: descend into a direct child subplan as
+/// long as the child alone still reproduces the divergence.
+PlanPtr ShrinkPlan(PlanPtr plan, const Catalog& catalog,
+                   const EngineFn& engine) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const PlanPtr& child : {plan->left, plan->right}) {
+      if (child != nullptr && DivergesQuietly(child, catalog, engine)) {
+        plan = child;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+/// Data shrink: drop base-table rows one at a time while the
+/// divergence persists, to a fixpoint.
+Catalog ShrinkRows(const PlanPtr& plan, Catalog catalog,
+                   const EngineFn& engine) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const std::string& name : catalog.TableNames()) {
+      const Relation& rel = catalog.Get(name);
+      for (size_t drop = 0; drop < rel.size(); ++drop) {
+        Relation smaller(rel.schema());
+        for (size_t i = 0; i < rel.size(); ++i) {
+          if (i != drop) smaller.AddRow(Row(rel.rows()[i]));
+        }
+        Catalog trial = catalog;  // snapshot copy, O(#tables)
+        trial.Put(name, std::move(smaller));
+        if (DivergesQuietly(plan, trial, engine)) {
+          catalog = std::move(trial);
+          progressed = true;
+          break;
+        }
+      }
+      if (progressed) break;
+    }
+  }
+  return catalog;
+}
+
+/// Writes the self-contained SQL reproducer and returns its path.
+std::string DumpReproducer(const std::string& dir, int seed,
+                           const PlanPtr& plan, const Catalog& catalog,
+                           const std::string& diff,
+                           const std::string& description) {
+  std::map<std::string, Relation> tables;
+  for (const std::string& name : catalog.TableNames()) {
+    tables.emplace(name, catalog.Get(name));
+  }
+  std::string header =
+      StrCat("periodk differential fuzzer reproducer\n", description,
+             "\ndivergence:\n", diff, "\nplan:\n", plan->ToString());
+  std::string body =
+      BuildReproducerSql(tables, TranspilePlanToSql(plan), header);
+  std::string path = StrCat(dir, "differential_repro_", seed, ".sql");
+  std::ofstream file(path);
+  file << body;
+  return path;
+}
+
+void CountKinds(const PlanPtr& plan, std::unordered_set<const Plan*>* seen,
+                std::map<PlanKind, int>* counts) {
+  if (plan == nullptr || !seen->insert(plan.get()).second) return;
+  ++(*counts)[plan->kind];
+  CountKinds(plan->left, seen, counts);
+  CountKinds(plan->right, seen, counts);
+}
+
+/// Shared fuzz driver; returns the number of divergences found (after
+/// shrinking and dumping each into `dump_dir`).
+int RunFuzz(int seeds, const EngineFn& engine, const std::string& dump_dir,
+            int stop_after, std::map<PlanKind, int>* kind_counts) {
+  int found = 0;
+  for (int seed = 0; seed < seeds && found < stop_after; ++seed) {
+    FuzzCase c = BuildCase(seed);
+    if (kind_counts != nullptr) {
+      // Per-case visited set: addresses recycle across cases.
+      std::unordered_set<const Plan*> seen;
+      CountKinds(c.plan, &seen, kind_counts);
+    }
+    std::optional<std::string> diff;
+    try {
+      diff = Diverges(c.plan, c.catalog, engine);
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << c.description << "\nerror: " << e.what() << "\nplan:\n"
+                    << c.plan->ToString();
+      ++found;
+      continue;
+    }
+    if (!diff.has_value()) continue;
+    ++found;
+    PlanPtr small = ShrinkPlan(c.plan, c.catalog, engine);
+    Catalog data = ShrinkRows(small, c.catalog, engine);
+    std::string small_diff = Diverges(small, data, engine).value_or(*diff);
+    std::string path = DumpReproducer(dump_dir, seed, small, data, small_diff,
+                                      c.description);
+    ADD_FAILURE() << c.description << "\n"
+                  << small_diff << "\nreproducer: " << path
+                  << "\nshrunk plan:\n"
+                  << small->ToString();
+  }
+  return found;
+}
+
+// --- Deterministic warm-up cases ------------------------------------------
+
+Catalog TinyCatalog() {
+  Catalog catalog;
+  Relation r(Schema::FromNames({"a", "b", "a_begin", "a_end"}));
+  r.AddRow({Value::Int(1), Value::Int(2), Value::Int(0), Value::Int(8)});
+  r.AddRow({Value::Int(1), Value::Int(2), Value::Int(4), Value::Int(12)});
+  r.AddRow({Value::Int(1), Value::Null(), Value::Int(2), Value::Int(6)});
+  r.AddRow({Value::Int(3), Value::Int(0), Value::Int(5), Value::Int(5)});
+  Relation s(Schema::FromNames({"a", "b", "a_begin", "a_end"}));
+  s.AddRow({Value::Int(1), Value::Int(2), Value::Int(6), Value::Int(10)});
+  s.AddRow({Value::Null(), Value::Null(), Value::Int(0), Value::Int(16)});
+  catalog.Put("r", std::move(r));
+  catalog.Put("s", std::move(s));
+  return catalog;
+}
+
+PlanPtr EncodedScan(const char* name) {
+  return MakeScan(name, Schema::FromNames({"a", "b", "a_begin", "a_end"}));
+}
+
+TEST(DifferentialOracle, HandBuiltCoalesceMatches) {
+  Catalog catalog = TinyCatalog();
+  for (CoalesceImpl impl : {CoalesceImpl::kNative, CoalesceImpl::kWindow}) {
+    PlanPtr plan = MakeCoalesce(EncodedScan("r"), impl);
+    auto diff = Diverges(plan, catalog, PlainEngine);
+    EXPECT_FALSE(diff.has_value()) << diff.value_or("");
+  }
+}
+
+TEST(DifferentialOracle, HandBuiltBagDifferenceMatches) {
+  Catalog catalog = TinyCatalog();
+  PlanPtr plan = MakeExceptAll(EncodedScan("r"), EncodedScan("s"));
+  auto diff = Diverges(plan, catalog, PlainEngine);
+  EXPECT_FALSE(diff.has_value()) << diff.value_or("");
+}
+
+TEST(DifferentialOracle, HandBuiltSplitAggregateMatches) {
+  Catalog catalog = TinyCatalog();
+  for (bool gap_rows : {false, true}) {
+    PlanPtr plan = MakeSplitAggregate(
+        EncodedScan("r"), {},
+        {AggExpr{AggFunc::kCountStar, nullptr, "cnt"},
+         AggExpr{AggFunc::kSum, Col(1, "b"), "sum_b"}},
+        gap_rows, kDomain);
+    auto diff = Diverges(plan, catalog, PlainEngine);
+    EXPECT_FALSE(diff.has_value()) << "gap_rows=" << gap_rows << "\n"
+                                   << diff.value_or("");
+    // Grouped variant (Teradata-style gap rows per observed group).
+    PlanPtr grouped = MakeSplitAggregate(
+        EncodedScan("r"), {0}, {AggExpr{AggFunc::kMax, Col(1, "b"), "max_b"}},
+        gap_rows, kDomain);
+    diff = Diverges(grouped, catalog, PlainEngine);
+    EXPECT_FALSE(diff.has_value()) << "grouped gap_rows=" << gap_rows << "\n"
+                                   << diff.value_or("");
+  }
+}
+
+TEST(DifferentialOracle, HandBuiltTimesliceOnNonTrailingColumnsMatches) {
+  Catalog catalog = TinyCatalog();
+  // Slice on explicit non-trailing endpoint columns: reorder r to
+  // (a_begin, a, a_end, b) first, then slice columns 0 and 2.
+  PlanPtr reordered = MakeProjectColumns(EncodedScan("r"), {2, 0, 3, 1});
+  PlanPtr plan = MakeTimesliceAt(reordered, 5, 0, 2);
+  auto diff = Diverges(plan, catalog, PlainEngine);
+  EXPECT_FALSE(diff.has_value()) << diff.value_or("");
+}
+
+// LowerSplitAggregates checked engine-vs-engine, isolating lowering
+// bugs from transpiler bugs.
+TEST(DifferentialOracle, SplitAggregateLoweringMatchesFusedOperator) {
+  Rng rng(20260807);
+  for (int i = 0; i < 50; ++i) {
+    Catalog catalog =
+        RandomEncodedCatalog(&rng, kDomain, 10, 0.2, 0.2);
+    bool grouped = rng.Chance(0.5);
+    bool gap_rows = rng.Chance(0.5);
+    AggFunc funcs[] = {AggFunc::kCountStar, AggFunc::kCount, AggFunc::kSum,
+                       AggFunc::kAvg,       AggFunc::kMin,   AggFunc::kMax};
+    AggFunc f = funcs[rng.Uniform(6)];
+    AggExpr agg{f, f == AggFunc::kCountStar ? nullptr : Col(1, "b"), "agg"};
+    PlanPtr fused = MakeSplitAggregate(
+        EncodedScan("r"), grouped ? std::vector<int>{0} : std::vector<int>{},
+        {agg}, gap_rows, kDomain);
+    PlanPtr lowered = LowerSplitAggregates(fused);
+    ASSERT_FALSE(ContainsKind(lowered, PlanKind::kSplitAggregate));
+    Relation a = Execute(fused, catalog, ExecOptions{});
+    Relation b = Execute(lowered, catalog, ExecOptions{});
+    auto diff = DiffRelations(a, b);
+    EXPECT_FALSE(diff.has_value())
+        << "i=" << i << " grouped=" << grouped << " gap_rows=" << gap_rows
+        << " func=" << static_cast<int>(f) << "\n"
+        << diff.value_or("");
+    if (diff.has_value()) break;
+  }
+}
+
+// --- The randomized differential suite ------------------------------------
+
+TEST(DifferentialOracle, RandomizedQueriesMatchSqlite) {
+  int seeds = SeedCount();
+  std::map<PlanKind, int> kind_counts;
+  int found = RunFuzz(seeds, PlainEngine, "", /*stop_after=*/3, &kind_counts);
+  EXPECT_EQ(found, 0) << "reproducers dumped to the working directory";
+
+  if (seeds >= 300) {
+    // Every operator kind must be reachable from the fuzzer's grammar
+    // (kConstant via the gap tuple, kAntiJoin via alignment/IP
+    // difference, kSplitAggregate via fusion, kSplit via the unfused
+    // path and snapshot DISTINCT, kTimeslice/kSort via the wrappers).
+    for (PlanKind kind :
+         {PlanKind::kScan, PlanKind::kConstant, PlanKind::kSelect,
+          PlanKind::kProject, PlanKind::kJoin, PlanKind::kUnionAll,
+          PlanKind::kExceptAll, PlanKind::kAggregate, PlanKind::kDistinct,
+          PlanKind::kSort, PlanKind::kAntiJoin, PlanKind::kCoalesce,
+          PlanKind::kSplit, PlanKind::kSplitAggregate,
+          PlanKind::kTimeslice}) {
+      EXPECT_GT(kind_counts[kind], 0)
+          << "operator kind never generated: " << PlanKindName(kind);
+    }
+  }
+}
+
+// --- Sensitivity: an injected executor bug must be caught -----------------
+
+TEST(DifferentialOracle, InjectedDuplicateDropIsCaught) {
+  // Classic bag bug: the "engine" silently drops one copy of every
+  // duplicated result row.  The differential harness must catch it and
+  // shrink it to a reproducer.
+  struct RowCmp {
+    bool operator()(const Row& a, const Row& b) const {
+      return CompareRows(a, b) < 0;
+    }
+  };
+  EngineFn buggy = [](const PlanPtr& plan, const Catalog& catalog) {
+    Relation out = Execute(plan, catalog, ExecOptions{});
+    std::map<Row, int, RowCmp> counts;
+    for (const Row& row : out.rows()) ++counts[row];
+    Relation shaved(out.schema());
+    for (const auto& [row, count] : counts) {
+      int keep = count > 1 ? count - 1 : count;
+      for (int i = 0; i < keep; ++i) shaved.AddRow(Row(row));
+    }
+    return shaved;
+  };
+
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  bool caught = false;
+  for (int seed = 0; seed < 200 && !caught; ++seed) {
+    FuzzCase c = BuildCase(seed);
+    std::optional<std::string> diff;
+    try {
+      diff = Diverges(c.plan, c.catalog, buggy);
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (!diff.has_value()) continue;
+    caught = true;
+    PlanPtr small = ShrinkPlan(c.plan, c.catalog, buggy);
+    Catalog data = ShrinkRows(small, c.catalog, buggy);
+    std::string small_diff = Diverges(small, data, buggy).value_or(*diff);
+    std::string path =
+        DumpReproducer(dir, seed, small, data, small_diff, c.description);
+
+    // The dump must be a self-contained replayable script.
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good()) << path;
+    std::stringstream content;
+    content << file.rdbuf();
+    std::string text = content.str();
+    EXPECT_NE(text.find("CREATE TABLE"), std::string::npos);
+    EXPECT_NE(text.find("SELECT"), std::string::npos);
+    EXPECT_NE(text.find("divergence:"), std::string::npos);
+
+    // Shrinking must not lose the divergence, and the minimal plan
+    // should be no larger than the original.
+    EXPECT_TRUE(Diverges(small, data, buggy).has_value());
+  }
+  EXPECT_TRUE(caught)
+      << "injected duplicate-dropping bug survived 200 fuzz seeds";
+}
+
+}  // namespace
+}  // namespace periodk

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/str_util.h"
 #include "engine/executor.h"
 #include "engine/interval_join.h"
+#include "engine/timeline_index.h"
 #include "ra/join_analysis.h"
 #include "rewrite/rewriter.h"
 #include "tests/random_query.h"
@@ -189,6 +191,101 @@ TEST(IntervalJoinPropertyTest, SweepEqualsNestedLoopReference) {
           << sweep.ToString() << "reference:\n" << reference.ToString();
     }
   }
+}
+
+/// Exact comparison: same rows in the same order.  The index-pruned
+/// sweep promises row identity with the unindexed sweep, not just bag
+/// equality.
+void ExpectRowsIdentical(const Relation& got, const Relation& want,
+                         const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.rows()[i], want.rows()[i]) << context << " at row " << i;
+  }
+}
+
+TEST(IntervalJoinPropertyTest, IndexCandidatesKeepSweepRowExact) {
+  // Timeline-index candidate pruning (AliveInRange over the opposite
+  // side's endpoint span) must leave the join output row-identical to
+  // the unindexed sweep — including NULL keys, empty/reversed validity
+  // intervals (slow lane) and duplicate rows.
+  TimeDomain domain{0, 40};
+  for (uint64_t seed = 0; seed < 80; ++seed) {
+    Rng rng(seed * 6151 + 11);
+    Catalog catalog = RandomEncodedCatalog(&rng, domain, /*max_rows=*/25,
+                                           /*null_chance=*/0.2,
+                                           /*empty_validity_chance=*/0.25);
+    std::vector<ExprPtr> preds = {
+        OverlapPred(),
+        And(Eq(Col(0), Col(4)), OverlapPred()),
+        AndAll({Eq(Col(0), Col(4)), OverlapPred(), Ne(Col(1), Col(5))}),
+    };
+    catalog.PutIndex("r", TimelineIndex::Build(catalog.GetShared("r")));
+    catalog.PutIndex("s", TimelineIndex::Build(catalog.GetShared("s")));
+    for (size_t p = 0; p < preds.size(); ++p) {
+      for (const char* rhs : {"s", "r"}) {  // r-s and self-join shapes
+        PlanPtr join = MakeJoin(MakeScan("r", EncodedAbSchema()),
+                                MakeScan(rhs, EncodedAbSchema()), preds[p]);
+        ASSERT_TRUE(join->join.overlap.has_value());
+        ExecOptions no_index;
+        no_index.use_timeline_index = false;
+        ExecStats plain_stats;
+        Relation plain = Execute(join, catalog, no_index, &plain_stats);
+        EXPECT_EQ(plain_stats.index_join_prunes, 0);
+        ExecStats stats;
+        Relation pruned = Execute(join, catalog, ExecOptions{}, &stats);
+        EXPECT_EQ(stats.index_join_prunes, 2)
+            << "seed " << seed << " predicate #" << p;
+        ExpectRowsIdentical(pruned, plain,
+                            StrCat("seed ", seed, " predicate #", p, " rhs ",
+                                   rhs));
+      }
+    }
+  }
+}
+
+TEST(IntervalJoinPropertyTest, IndexCandidatesHandleDegenerateSpans) {
+  // One side holds only empty/reversed intervals: the combined span
+  // collapses (lo >= hi) and pruning must fall back to AliveAt without
+  // losing the slow-lane matches those rows still produce.
+  Relation r(EncodedAbSchema());
+  r.AddRow({Value::Int(1), Value::Int(0), Value::Int(7), Value::Int(7)});
+  r.AddRow({Value::Int(2), Value::Int(0), Value::Int(8), Value::Int(6)});
+  Relation s(EncodedAbSchema());
+  s.AddRow({Value::Int(1), Value::Int(0), Value::Int(5), Value::Int(9)});
+  s.AddRow({Value::Int(2), Value::Int(0), Value::Int(2), Value::Int(4)});
+  s.AddRow({Value::Int(3), Value::Int(0), Value::Int(30), Value::Int(35)});
+  Catalog catalog;
+  catalog.Put("r", std::move(r));
+  catalog.Put("s", std::move(s));
+  catalog.PutIndex("s", TimelineIndex::Build(catalog.GetShared("s")));
+  PlanPtr join = MakeJoin(MakeScan("r", EncodedAbSchema()),
+                          MakeScan("s", EncodedAbSchema()), OverlapPred());
+  ExecOptions no_index;
+  no_index.use_timeline_index = false;
+  Relation plain = Execute(join, catalog, no_index);
+  ExecStats stats;
+  Relation pruned = Execute(join, catalog, ExecOptions{}, &stats);
+  EXPECT_EQ(stats.index_join_prunes, 1);  // only s carries an index
+  ExpectRowsIdentical(pruned, plain, "degenerate span");
+  // [7,7) and [8,6) both satisfy the raw conjunct against [5,9): two
+  // slow-lane hits the pruning must not lose.
+  EXPECT_EQ(plain.size(), 2u);
+
+  // Double endpoints on the unindexed side widen the span via
+  // floor/ceil (SQL compares int and double numerically).
+  Relation d(EncodedAbSchema());
+  d.AddRow({Value::Int(9), Value::Int(0), Value::Double(4.5),
+            Value::Double(8.25)});
+  catalog.Put("d", std::move(d));
+  PlanPtr djoin = MakeJoin(MakeScan("d", EncodedAbSchema()),
+                           MakeScan("s", EncodedAbSchema()), OverlapPred());
+  Relation dplain = Execute(djoin, catalog, no_index);
+  ExecStats dstats;
+  Relation dpruned = Execute(djoin, catalog, ExecOptions{}, &dstats);
+  EXPECT_EQ(dstats.index_join_prunes, 1);
+  ExpectRowsIdentical(dpruned, dplain, "double endpoints");
+  EXPECT_EQ(dplain.size(), 1u);  // [4.5, 8.25) overlaps [5, 9) only
 }
 
 TEST(IntervalJoinPropertyTest, SelfJoinOverlapOnly) {

@@ -260,7 +260,7 @@ TEST(TimeslicePushdownTest, PushesThroughCoalesceSelectProject) {
   EXPECT_EQ(pushed->schema.at(0).name, "b");
 }
 
-TEST(TimeslicePushdownTest, StopsAtTemporalPredicatesAndReshapedProjects) {
+TEST(TimeslicePushdownTest, StopsAtTemporalPredicatesAndComputedEndpoints) {
   Schema encoded = Schema::FromNames({"a", "b", "a_begin", "a_end"});
   // Predicate touching an endpoint column: tau must stay above.
   PlanPtr temporal_select =
@@ -269,13 +269,95 @@ TEST(TimeslicePushdownTest, StopsAtTemporalPredicatesAndReshapedProjects) {
   EXPECT_EQ(pushed->kind, PlanKind::kTimeslice);
   EXPECT_EQ(pushed->left->kind, PlanKind::kSelect);
 
-  // Projection that reorders endpoints away from pass-through.
+  // An endpoint that is computed, not a plain column reference.
+  PlanPtr computed = MakeProject(
+      MakeScan("r", encoded),
+      {Col(0, "a"), Col(2, "a_begin"), Add(Col(3), LitInt(1))},
+      {Column("a"), Column("a_begin"), Column("a_end")});
+  pushed = PushDownTimeslice(MakeTimeslice(computed, 5));
+  EXPECT_EQ(pushed->kind, PlanKind::kTimeslice);
+  EXPECT_EQ(pushed->left->kind, PlanKind::kProject);
+
+  // A data column reading an endpoint column: slicing below would drop
+  // the column it needs.
+  PlanPtr leaky = MakeProject(
+      MakeScan("r", encoded), {Col(2, "copy"), Col(2, "b"), Col(3, "e")},
+      {Column("copy"), Column("b"), Column("e")});
+  pushed = PushDownTimeslice(MakeTimeslice(leaky, 5));
+  EXPECT_EQ(pushed->kind, PlanKind::kTimeslice);
+  EXPECT_EQ(pushed->left->kind, PlanKind::kProject);
+}
+
+TEST(TimeslicePushdownTest, CrossesReorderingAndNonTrailingProjections) {
+  Schema encoded = Schema::FromNames({"a", "b", "a_begin", "a_end"});
+  // Projection that moves the endpoints away from the trailing
+  // positions (swapped, even).  tau_{t} over its output reads columns
+  // (1, 2) = (a_end, a_begin) of the child, so the pushdown must land a
+  // generalized slice reading exactly those child columns.
   PlanPtr reshaped = MakeProject(
       MakeScan("r", encoded), {Col(0, "a"), Col(3, "e"), Col(2, "b2")},
       {Column("a"), Column("e"), Column("b2")});
-  pushed = PushDownTimeslice(MakeTimeslice(reshaped, 5));
-  EXPECT_EQ(pushed->kind, PlanKind::kTimeslice);
-  EXPECT_EQ(pushed->left->kind, PlanKind::kProject);
+  PlanPtr pushed = PushDownTimeslice(MakeTimeslice(reshaped, 5));
+  ASSERT_EQ(pushed->kind, PlanKind::kProject);
+  ASSERT_EQ(pushed->left->kind, PlanKind::kTimeslice);
+  EXPECT_EQ(pushed->left->slice_begin_col, 3);
+  EXPECT_EQ(pushed->left->slice_end_col, 2);
+  ASSERT_EQ(pushed->left->left->kind, PlanKind::kScan);
+  EXPECT_EQ(pushed->schema.size(), 1u);
+  EXPECT_EQ(pushed->schema.at(0).name, "a");
+
+  // Equivalence on data, including rows the swap makes empty.
+  Catalog catalog;
+  catalog.Put("r", EncodedRelation(
+                       {{1, 10, 3, 9}, {2, 20, 0, 4}, {3, 30, 9, 3}}));
+  PlanPtr sliced = MakeTimeslice(reshaped, 5);
+  ExpectRowsIdentical(Execute(pushed, catalog), Execute(sliced, catalog),
+                      "reordered endpoints");
+}
+
+// The encoded-table projection of a period table whose interval columns
+// are stored away from the trailing position (the shape the middleware
+// binder emits): the pushdown must cross it and the executor must serve
+// the landed slice from an index over the stored positions.
+TEST(TimeslicePushdownTest, NonTrailingPeriodTableReachesScanAndIndex) {
+  Schema stored = Schema::FromNames({"vb", "ve", "x", "y"});
+  PlanPtr scan = MakeScan("p", stored);
+  // Encoded projection: data columns first, endpoints last.
+  PlanPtr encoded = MakeProjectColumns(scan, {2, 3, 0, 1});
+  PlanPtr sliced = MakeTimeslice(encoded, 6);
+  PlanPtr pushed = PushDownTimeslice(sliced);
+  ASSERT_EQ(pushed->kind, PlanKind::kProject);
+  ASSERT_EQ(pushed->left->kind, PlanKind::kTimeslice);
+  EXPECT_EQ(pushed->left->slice_begin_col, 0);
+  EXPECT_EQ(pushed->left->slice_end_col, 1);
+  ASSERT_EQ(pushed->left->left->kind, PlanKind::kScan);
+
+  Catalog catalog;
+  Relation rel(stored);
+  Rng rng(0x5107ab);
+  for (int i = 0; i < 40; ++i) {
+    TimePoint b = rng.Range(kDomain.tmin, kDomain.tmax - 2);
+    TimePoint e = rng.Chance(0.2) ? rng.Range(kDomain.tmin, b)
+                                  : rng.Range(b + 1, kDomain.tmax - 1);
+    rel.AddRow({Value::Int(b), Value::Int(e), Value::Int(rng.Range(0, 5)),
+                Value::Int(rng.Range(0, 5))});
+  }
+  catalog.Put("p", std::move(rel));
+  catalog.PutIndex(
+      "p", TimelineIndex::Build(catalog.GetShared("p"), /*begin_col=*/0,
+                                /*end_col=*/1));
+  for (TimePoint t = kDomain.tmin - 1; t <= kDomain.tmax; ++t) {
+    PlanPtr at = PushDownTimeslice(MakeTimeslice(encoded, t));
+    ExecStats stats;
+    Relation indexed = Execute(at, catalog, ExecOptions{}, &stats);
+    EXPECT_EQ(stats.index_timeslices, 1) << "t=" << t;
+    ExecOptions scan_options;
+    scan_options.use_timeline_index = false;
+    Relation scanned = Execute(at, catalog, scan_options);
+    ExpectRowsIdentical(indexed, scanned, StrCat("pushed t=", t));
+    Relation unpushed = Execute(MakeTimeslice(encoded, t), catalog);
+    ExpectRowsIdentical(indexed, unpushed, StrCat("unpushed t=", t));
+  }
 }
 
 TEST(TimeslicePushdownTest, PushedPlansStayBagEqualOnRandomQueries) {
@@ -382,6 +464,38 @@ TEST(TimelineIndexMiddlewareTest, ExplainAnalyzeShowsIndexHits) {
   ASSERT_TRUE(explained.ok());
   EXPECT_NE(explained->find("index timeslices: 1"), std::string::npos)
       << *explained;
+}
+
+TEST(TimelineIndexMiddlewareTest, NonTrailingPeriodTableServedFromIndex) {
+  Rng rng(0xb0b);
+  TemporalDB db(kDomain);
+  ASSERT_TRUE(
+      db.CreatePeriodTable("t", {"vb", "grp", "ve", "val"}, "vb", "ve").ok());
+  std::vector<Row> batch;
+  for (int i = 0; i < 30; ++i) {
+    TimePoint b = rng.Range(kDomain.tmin, kDomain.tmax - 2);
+    TimePoint e = rng.Range(b + 1, kDomain.tmax - 1);
+    batch.push_back({Value::Int(b), Value::Int(rng.Range(0, 3)), Value::Int(e),
+                     Value::Int(rng.Range(0, 9))});
+  }
+  ASSERT_TRUE(db.InsertRows("t", std::move(batch)).ok());
+  auto explained = db.ExplainAnalyze("SEQ VT AS OF 5 (SELECT grp, val FROM t)");
+  ASSERT_TRUE(explained.ok());
+  EXPECT_NE(explained->find("index timeslices: 1"), std::string::npos)
+      << *explained;
+  for (TimePoint t = kDomain.tmin; t < kDomain.tmax; ++t) {
+    auto indexed =
+        db.Query(StrCat("SEQ VT AS OF ", t, " (SELECT grp, val FROM t)"));
+    ASSERT_TRUE(indexed.ok());
+    RewriteOptions scan_opts;
+    scan_opts.use_timeline_index = false;
+    scan_opts.push_down_timeslice = false;
+    auto scanned =
+        db.Query(StrCat("SEQ VT AS OF ", t, " (SELECT grp, val FROM t)"),
+                 scan_opts);
+    ASSERT_TRUE(scanned.ok());
+    EXPECT_TRUE(indexed->BagEquals(*scanned)) << "t=" << t;
+  }
 }
 
 TEST(TimelineIndexMiddlewareTest, WritersInvalidateLazilyBuiltIndexes) {
