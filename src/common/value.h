@@ -43,6 +43,17 @@ class Value {
   double AsDouble() const { return std::get<double>(v_); }
   const std::string& AsString() const { return std::get<std::string>(v_); }
 
+  /// Cheap typed accessors: a pointer to the payload when the value has
+  /// exactly that type, nullptr otherwise.  Unlike As*(), these never
+  /// throw, so hot loops can branch on one pointer test instead of
+  /// paying a type() switch plus a checked std::get.
+  const bool* TryBool() const noexcept { return std::get_if<bool>(&v_); }
+  const int64_t* TryInt() const noexcept { return std::get_if<int64_t>(&v_); }
+  const double* TryDouble() const noexcept { return std::get_if<double>(&v_); }
+  const std::string* TryString() const noexcept {
+    return std::get_if<std::string>(&v_);
+  }
+
   /// Numeric value as double; requires is_numeric().
   double NumericAsDouble() const;
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "common/value.h"
+#include "engine/column.h"
 
 namespace periodk {
 
@@ -39,6 +40,16 @@ struct AggState {
   Value max_v;
 
   void Accumulate(const Value& v, int64_t mult = 1);
+
+  /// Accumulates a non-null int64 without the Value round-trip; exactly
+  /// equivalent to Accumulate(Value::Int(v), mult).
+  void AccumulateInt(int64_t v, int64_t mult = 1);
+
+  /// Accumulates cell `row` of a typed column.  Equivalent to
+  /// Accumulate(col.Get(row), mult), but the hot non-null int case --
+  /// the inner loop of the columnar split-aggregate and hash
+  /// aggregation paths -- reads the raw array directly.
+  void AccumulateColumn(const ColumnData& col, size_t row, int64_t mult = 1);
 
   /// Merges partially aggregated state (used by pre-aggregation: the
   /// fused split operator merges per-interval partials into per-fragment

@@ -1,0 +1,343 @@
+#include "engine/column.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace periodk {
+
+namespace {
+
+// splitmix64 finalizer; also used to combine packed key words.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* ColumnTagName(ColumnTag tag) {
+  switch (tag) {
+    case ColumnTag::kInt:
+      return "int";
+    case ColumnTag::kDouble:
+      return "double";
+    case ColumnTag::kBool:
+      return "bool";
+    case ColumnTag::kString:
+      return "string";
+    case ColumnTag::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+void ColumnData::InitValidity() {
+  validity_.assign((size_ + 63) / 64, 0);
+}
+
+ColumnData ColumnData::Encode(const std::vector<Row>& rows, size_t col) {
+  ColumnData out;
+  out.size_ = rows.size();
+
+  bool has_bool = false, has_int = false, has_double = false;
+  bool has_string = false;
+  size_t nulls = 0;
+  for (const Row& row : rows) {
+    switch (row[col].type()) {
+      case ValueType::kNull:
+        ++nulls;
+        break;
+      case ValueType::kBool:
+        has_bool = true;
+        break;
+      case ValueType::kInt:
+        has_int = true;
+        break;
+      case ValueType::kDouble:
+        has_double = true;
+        break;
+      case ValueType::kString:
+        has_string = true;
+        break;
+    }
+  }
+  int kinds = static_cast<int>(has_bool) + static_cast<int>(has_int) +
+              static_cast<int>(has_double) + static_cast<int>(has_string);
+  if (kinds > 1) {
+    out.tag_ = ColumnTag::kMixed;
+  } else if (has_bool) {
+    out.tag_ = ColumnTag::kBool;
+  } else if (has_double) {
+    out.tag_ = ColumnTag::kDouble;
+  } else if (has_string) {
+    out.tag_ = ColumnTag::kString;
+  } else {
+    out.tag_ = ColumnTag::kInt;  // pure int, or all-null/empty
+  }
+
+  out.null_count_ = nulls;
+  if (nulls > 0) out.InitValidity();
+  switch (out.tag_) {
+    case ColumnTag::kInt:
+      out.ints_.resize(rows.size(), 0);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (const int64_t* v = rows[i][col].TryInt()) {
+          out.ints_[i] = *v;
+          if (nulls > 0) out.SetValid(i);
+        }
+      }
+      break;
+    case ColumnTag::kDouble:
+      out.doubles_.resize(rows.size(), 0.0);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (const double* v = rows[i][col].TryDouble()) {
+          out.doubles_[i] = *v;
+          if (std::isnan(*v)) out.has_nan_ = true;
+          if (nulls > 0) out.SetValid(i);
+        }
+      }
+      break;
+    case ColumnTag::kBool:
+      out.bools_.resize(rows.size(), 0);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (const bool* v = rows[i][col].TryBool()) {
+          out.bools_[i] = *v ? 1 : 0;
+          if (nulls > 0) out.SetValid(i);
+        }
+      }
+      break;
+    case ColumnTag::kString: {
+      std::vector<std::string> dict;
+      dict.reserve(rows.size() - nulls);
+      for (const Row& row : rows) {
+        if (const std::string* s = row[col].TryString()) dict.push_back(*s);
+      }
+      std::sort(dict.begin(), dict.end());
+      dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+      std::unordered_map<std::string_view, uint32_t> code_of;
+      code_of.reserve(dict.size());
+      for (size_t c = 0; c < dict.size(); ++c) {
+        code_of.emplace(dict[c], static_cast<uint32_t>(c));
+      }
+      out.codes_.resize(rows.size(), 0);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (const std::string* s = rows[i][col].TryString()) {
+          out.codes_[i] = code_of.find(*s)->second;
+          if (nulls > 0) out.SetValid(i);
+        }
+      }
+      out.dict_ = std::make_shared<const StringDict>(std::move(dict));
+      break;
+    }
+    case ColumnTag::kMixed:
+      out.mixed_.reserve(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        out.mixed_.push_back(rows[i][col]);
+        if (nulls > 0 && !rows[i][col].is_null()) out.SetValid(i);
+      }
+      break;
+  }
+  return out;
+}
+
+ColumnData ColumnData::FromInts(std::vector<int64_t> values) {
+  ColumnData out;
+  out.tag_ = ColumnTag::kInt;
+  out.size_ = values.size();
+  out.ints_ = std::move(values);
+  return out;
+}
+
+ColumnData ColumnData::Gather(const ColumnData& src,
+                              const std::vector<uint32_t>& indices) {
+  ColumnData out;
+  out.tag_ = src.tag_;
+  out.size_ = indices.size();
+  out.dict_ = src.dict_;
+  out.has_nan_ = src.has_nan_;
+  size_t nulls = 0;
+  if (src.has_nulls()) {
+    out.InitValidity();
+    for (size_t k = 0; k < indices.size(); ++k) {
+      if (src.IsNull(indices[k])) {
+        ++nulls;
+      } else {
+        out.SetValid(k);
+      }
+    }
+    if (nulls == 0) out.validity_.clear();
+  }
+  out.null_count_ = nulls;
+  switch (src.tag_) {
+    case ColumnTag::kInt:
+      out.ints_.resize(indices.size());
+      for (size_t k = 0; k < indices.size(); ++k) {
+        out.ints_[k] = src.ints_[indices[k]];
+      }
+      break;
+    case ColumnTag::kDouble:
+      out.doubles_.resize(indices.size());
+      for (size_t k = 0; k < indices.size(); ++k) {
+        out.doubles_[k] = src.doubles_[indices[k]];
+      }
+      break;
+    case ColumnTag::kBool:
+      out.bools_.resize(indices.size());
+      for (size_t k = 0; k < indices.size(); ++k) {
+        out.bools_[k] = src.bools_[indices[k]];
+      }
+      break;
+    case ColumnTag::kString:
+      out.codes_.resize(indices.size());
+      for (size_t k = 0; k < indices.size(); ++k) {
+        out.codes_[k] = src.codes_[indices[k]];
+      }
+      break;
+    case ColumnTag::kMixed:
+      out.mixed_.reserve(indices.size());
+      for (uint32_t i : indices) out.mixed_.push_back(src.mixed_[i]);
+      break;
+  }
+  return out;
+}
+
+Value ColumnData::Get(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (tag_) {
+    case ColumnTag::kInt:
+      return Value::Int(ints_[i]);
+    case ColumnTag::kDouble:
+      return Value::Double(doubles_[i]);
+    case ColumnTag::kBool:
+      return Value::Bool(bools_[i] != 0);
+    case ColumnTag::kString:
+      return Value::String(dict_->At(codes_[i]));
+    case ColumnTag::kMixed:
+      return mixed_[i];
+  }
+  return Value::Null();
+}
+
+bool FastKeyable(const ColumnData& column) {
+  switch (column.tag()) {
+    case ColumnTag::kInt:
+    case ColumnTag::kBool:
+    case ColumnTag::kString:
+      return true;
+    case ColumnTag::kDouble:
+      return !column.has_nan();
+    case ColumnTag::kMixed:
+      return false;
+  }
+  return false;
+}
+
+bool BuildPackedKeys(const std::vector<ColumnData>& columns,
+                     const std::vector<int>& key_cols, size_t num_rows,
+                     std::vector<uint64_t>* out) {
+  if (num_rows >= 0xffffffffull) return false;
+  if (key_cols.size() > 63) return false;
+  for (int c : key_cols) {
+    if (!FastKeyable(columns[static_cast<size_t>(c)])) return false;
+  }
+  size_t width = key_cols.size() + 1;
+  out->assign(num_rows * width, 0);
+  for (size_t j = 0; j < key_cols.size(); ++j) {
+    const ColumnData& col = columns[static_cast<size_t>(key_cols[j])];
+    uint64_t* word = out->data() + j;
+    uint64_t* nulls = out->data() + key_cols.size();
+    switch (col.tag()) {
+      case ColumnTag::kInt: {
+        const int64_t* v = col.ints();
+        for (size_t i = 0; i < num_rows; ++i, word += width) {
+          *word = static_cast<uint64_t>(v[i]);
+        }
+        break;
+      }
+      case ColumnTag::kDouble: {
+        const double* v = col.doubles();
+        for (size_t i = 0; i < num_rows; ++i, word += width) {
+          double d = v[i] == 0.0 ? 0.0 : v[i];  // -0.0 == +0.0
+          *word = std::bit_cast<uint64_t>(d);
+        }
+        break;
+      }
+      case ColumnTag::kBool: {
+        const uint8_t* v = col.bools();
+        for (size_t i = 0; i < num_rows; ++i, word += width) {
+          *word = v[i];
+        }
+        break;
+      }
+      case ColumnTag::kString: {
+        const uint32_t* v = col.codes();
+        for (size_t i = 0; i < num_rows; ++i, word += width) {
+          *word = v[i];
+        }
+        break;
+      }
+      case ColumnTag::kMixed:
+        return false;  // unreachable: rejected by FastKeyable above
+    }
+    if (col.has_nulls()) {
+      word = out->data() + j;
+      for (size_t i = 0; i < num_rows; ++i, word += width, nulls += width) {
+        if (col.IsNull(i)) {
+          *word = 0;
+          *nulls |= uint64_t{1} << j;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+PackedKeyMap::PackedKeyMap(size_t width, size_t expected) : width_(width) {
+  size_t cap = 16;
+  while (cap < expected * 2) cap *= 2;
+  slots_.assign(cap, kEmptySlot);
+  mask_ = cap - 1;
+  arena_.reserve(expected * width_);
+}
+
+uint64_t PackedKeyMap::HashKey(const uint64_t* key) const {
+  uint64_t h = 0x8445d61a4e774912ULL;
+  for (size_t j = 0; j < width_; ++j) h = Mix64(h ^ key[j]);
+  return h;
+}
+
+uint32_t PackedKeyMap::FindOrInsert(const uint64_t* key) {
+  if ((count_ + 1) * 10 >= slots_.size() * 7) Grow();
+  size_t pos = HashKey(key) & mask_;
+  while (true) {
+    uint32_t id = slots_[pos];
+    if (id == kEmptySlot) {
+      uint32_t fresh = static_cast<uint32_t>(count_++);
+      slots_[pos] = fresh;
+      arena_.insert(arena_.end(), key, key + width_);
+      return fresh;
+    }
+    if (std::equal(key, key + width_, &arena_[id * width_])) return id;
+    pos = (pos + 1) & mask_;
+  }
+}
+
+void PackedKeyMap::Grow() {
+  size_t cap = slots_.size() * 2;
+  slots_.assign(cap, kEmptySlot);
+  mask_ = cap - 1;
+  for (uint32_t id = 0; id < count_; ++id) {
+    size_t pos = HashKey(&arena_[id * width_]) & mask_;
+    while (slots_[pos] != kEmptySlot) pos = (pos + 1) & mask_;
+    slots_[pos] = id;
+  }
+}
+
+}  // namespace periodk

@@ -150,6 +150,247 @@ void ProcessBucket(const Plan& plan, Bucket& bucket, Relation& out,
   }
 }
 
+// --- Columnar fast lane -------------------------------------------------
+//
+// When both inputs are columnar, the endpoint columns are pure non-null
+// ints with every interval well-formed, the equi-keys pack into uint64
+// words and there is no residual predicate, the join never touches a
+// Row: buckets hold row *indexes*, the sweep emits (left, right) index
+// pairs, and the output is gathered column-by-column.  Any condition
+// the packed encoding cannot reproduce exactly falls back to the row
+// path above, which remains the semantic reference.
+
+struct FastSweepRow {
+  TimePoint begin = 0;
+  TimePoint end = 0;
+  uint32_t row = 0;
+};
+
+struct FastBucket {
+  std::vector<FastSweepRow> left;
+  std::vector<FastSweepRow> right;
+};
+
+using RowPair = std::pair<uint32_t, uint32_t>;
+
+struct FastSweepScratch {
+  std::vector<std::pair<TimePoint, uint32_t>> active_l;
+  std::vector<std::pair<TimePoint, uint32_t>> active_r;
+};
+
+// Index-pair twin of ProcessBucket's sweep: same begin-stable sort,
+// same arrival-order active sets, so it emits pairs in exactly the
+// order the row sweep emits rows.
+void SweepFastBucket(FastBucket& bucket, FastSweepScratch& scratch,
+                     std::vector<RowPair>& out) {
+  std::vector<FastSweepRow>& ls = bucket.left;
+  std::vector<FastSweepRow>& rs = bucket.right;
+  if (ls.empty() || rs.empty()) return;
+  auto by_begin = [](const FastSweepRow& a, const FastSweepRow& b) {
+    return a.begin < b.begin;
+  };
+  std::stable_sort(ls.begin(), ls.end(), by_begin);
+  std::stable_sort(rs.begin(), rs.end(), by_begin);
+  auto& active_l = scratch.active_l;
+  auto& active_r = scratch.active_r;
+  active_l.clear();
+  active_r.clear();
+  auto emit_against = [](const FastSweepRow& cur,
+                         std::vector<std::pair<TimePoint, uint32_t>>& opposite,
+                         const auto& emit_pair) {
+    size_t kept = 0;
+    for (auto& entry : opposite) {
+      if (entry.first > cur.begin) {
+        emit_pair(entry.second);
+        opposite[kept++] = entry;
+      }
+    }
+    opposite.resize(kept);
+  };
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ls.size() || j < rs.size()) {
+    bool take_left =
+        j >= rs.size() || (i < ls.size() && ls[i].begin <= rs[j].begin);
+    if (take_left) {
+      const FastSweepRow& cur = ls[i++];
+      emit_against(cur, active_r,
+                   [&](uint32_t r) { out.emplace_back(cur.row, r); });
+      active_l.emplace_back(cur.end, cur.row);
+    } else {
+      const FastSweepRow& cur = rs[j++];
+      emit_against(cur, active_l,
+                   [&](uint32_t l) { out.emplace_back(l, cur.row); });
+      active_r.emplace_back(cur.end, cur.row);
+    }
+  }
+}
+
+// Packs both sides' equi-key columns into comparable uint64 words.
+// Word equality must coincide with Value equality *across* the two
+// relations, so: the paired columns must share a tag (a mixed pairing
+// like int keys meeting double keys, where 3 == 3.0, has no shared
+// word encoding and keeps the row path), and the right side's
+// dictionary codes are translated into the left column's code space
+// (both dictionaries are sorted).  Right-side strings absent from the
+// left dictionary get codes past the left dictionary's range --
+// distinct from every left code and from each other, so those rows
+// bucket separately and never match, exactly like the row path.
+bool BuildJoinKeys(const Relation& left, const Relation& right,
+                   const std::vector<std::pair<int, int>>& equi_keys,
+                   std::vector<uint64_t>* lpacked,
+                   std::vector<uint64_t>* rpacked) {
+  std::vector<int> lcols;
+  std::vector<int> rcols;
+  lcols.reserve(equi_keys.size());
+  rcols.reserve(equi_keys.size());
+  for (const auto& [l, r] : equi_keys) {
+    lcols.push_back(l);
+    rcols.push_back(r);
+  }
+  for (size_t j = 0; j < lcols.size(); ++j) {
+    if (left.col(static_cast<size_t>(lcols[j])).tag() !=
+        right.col(static_cast<size_t>(rcols[j])).tag()) {
+      return false;
+    }
+  }
+  if (!BuildPackedKeys(left.columns(), lcols, left.size(), lpacked)) {
+    return false;
+  }
+  if (!BuildPackedKeys(right.columns(), rcols, right.size(), rpacked)) {
+    return false;
+  }
+  size_t width = lcols.size() + 1;
+  for (size_t j = 0; j < lcols.size(); ++j) {
+    const ColumnData& lc = left.col(static_cast<size_t>(lcols[j]));
+    const ColumnData& rc = right.col(static_cast<size_t>(rcols[j]));
+    if (lc.tag() != ColumnTag::kString || lc.dict() == rc.dict()) continue;
+    const std::vector<std::string>& lv = lc.dict()->values();
+    const std::vector<std::string>& rv = rc.dict()->values();
+    std::vector<uint64_t> remap(rv.size());
+    for (size_t c = 0; c < rv.size(); ++c) {
+      auto it = std::lower_bound(lv.begin(), lv.end(), rv[c]);
+      remap[c] = (it != lv.end() && *it == rv[c])
+                     ? static_cast<uint64_t>(it - lv.begin())
+                     : lv.size() + c;
+    }
+    uint64_t* word = rpacked->data() + j;
+    const uint64_t* nulls = rpacked->data() + lcols.size();
+    for (size_t i = 0; i < right.size(); ++i, word += width, nulls += width) {
+      if ((*nulls & (uint64_t{1} << j)) == 0) *word = remap[*word];
+    }
+  }
+  return true;
+}
+
+bool TryColumnarOverlapJoin(const Plan& plan, const Relation& left,
+                            const Relation& right, const OpContext& ctx,
+                            const JoinCandidates& candidates,
+                            Relation* result) {
+  const JoinAnalysis& ja = plan.join;
+  const OverlapSpec& ov = *ja.overlap;
+  if (ja.residual != nullptr) return false;
+  if (!left.is_columnar() || !right.is_columnar()) return false;
+  auto endpoints = [](const Relation& rel, int bcol, int ecol,
+                      const int64_t** bs, const int64_t** es) {
+    const ColumnData& bc = rel.col(static_cast<size_t>(bcol));
+    const ColumnData& ec = rel.col(static_cast<size_t>(ecol));
+    if (bc.tag() != ColumnTag::kInt || bc.has_nulls()) return false;
+    if (ec.tag() != ColumnTag::kInt || ec.has_nulls()) return false;
+    *bs = bc.ints();
+    *es = ec.ints();
+    // A malformed interval (begin >= end) rides the row path's slow
+    // lane, where it can still emit under SQL comparison semantics --
+    // one such row on either side disables the fast lane entirely.
+    for (size_t i = 0; i < rel.size(); ++i) {
+      if ((*bs)[i] >= (*es)[i]) return false;
+    }
+    return true;
+  };
+  const int64_t* lb = nullptr;
+  const int64_t* le = nullptr;
+  const int64_t* rb = nullptr;
+  const int64_t* re = nullptr;
+  if (!endpoints(left, ov.left_begin, ov.left_end, &lb, &le)) return false;
+  if (!endpoints(right, ov.right_begin, ov.right_end, &rb, &re)) return false;
+  std::vector<uint64_t> lpacked;
+  std::vector<uint64_t> rpacked;
+  if (!BuildJoinKeys(left, right, ja.equi_keys, &lpacked, &rpacked)) {
+    return false;
+  }
+
+  size_t width = ja.equi_keys.size() + 1;
+  std::vector<FastBucket> buckets;
+  PackedKeyMap bucket_map(width, /*expected=*/64);
+  auto stage = [&](bool is_left, const Relation& rel,
+                   const std::vector<uint64_t>& packed, const int64_t* bs,
+                   const int64_t* es, const std::vector<char>* keep) {
+    for (size_t i = 0; i < rel.size(); ++i) {
+      const uint64_t* key = &packed[i * width];
+      if (key[width - 1] != 0) continue;  // NULL keys never equi-join
+      uint32_t bid = bucket_map.FindOrInsert(key);
+      if (bid == buckets.size()) buckets.emplace_back();
+      // A pruned row overlaps nothing; its bucket is still created so
+      // the partition order matches the unpruned run.
+      if (keep != nullptr && (*keep)[i] == 0) continue;
+      (is_left ? buckets[bid].left : buckets[bid].right)
+          .push_back(FastSweepRow{bs[i], es[i], static_cast<uint32_t>(i)});
+    }
+  };
+  stage(/*is_left=*/true, left, lpacked, lb, le, candidates.left);
+  stage(/*is_left=*/false, right, rpacked, rb, re, candidates.right);
+
+  auto ranges = PlanChunks(ctx.num_threads(),
+                           static_cast<int64_t>(buckets.size()),
+                           /*min_grain=*/1);
+  std::vector<RowPair> pairs;
+  if (ranges.size() <= 1) {
+    FastSweepScratch scratch;
+    for (FastBucket& bucket : buckets) {
+      SweepFastBucket(bucket, scratch, pairs);
+    }
+  } else {
+    std::vector<std::vector<RowPair>> chunk_pairs(ranges.size());
+    std::vector<ExecStats> chunk_stats(ranges.size());
+    RunChunks(ctx.pool->get(), ranges, [&](size_t c, int64_t b, int64_t e) {
+      FastSweepScratch scratch;
+      for (int64_t i = b; i < e; ++i) {
+        SweepFastBucket(buckets[static_cast<size_t>(i)], scratch,
+                        chunk_pairs[c]);
+      }
+      chunk_stats[c].parallel_tasks = 1;
+    });
+    size_t total = 0;
+    for (const auto& cp : chunk_pairs) total += cp.size();
+    pairs.reserve(total);
+    for (const auto& cp : chunk_pairs) {
+      pairs.insert(pairs.end(), cp.begin(), cp.end());
+    }
+    if (ctx.stats != nullptr) {
+      for (const ExecStats& s : chunk_stats) ctx.stats->Merge(s);
+    }
+  }
+
+  std::vector<uint32_t> lidx;
+  std::vector<uint32_t> ridx;
+  lidx.reserve(pairs.size());
+  ridx.reserve(pairs.size());
+  for (const RowPair& p : pairs) {
+    lidx.push_back(p.first);
+    ridx.push_back(p.second);
+  }
+  std::vector<ColumnData> cols;
+  cols.reserve(plan.schema.size());
+  for (size_t c = 0; c < left.schema().size(); ++c) {
+    cols.push_back(ColumnData::Gather(left.col(c), lidx));
+  }
+  for (size_t c = 0; c < right.schema().size(); ++c) {
+    cols.push_back(ColumnData::Gather(right.col(c), ridx));
+  }
+  *result = Relation::FromColumns(plan.schema, std::move(cols), pairs.size());
+  return true;
+}
+
 }  // namespace
 
 Relation NestedLoopJoin(const Plan& plan, const Relation& left,
@@ -175,10 +416,18 @@ Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
   }
   const OverlapSpec& ov = *ja.overlap;
 
+  Relation fast(plan.schema);
+  if (TryColumnarOverlapJoin(plan, left, right, ctx, candidates, &fast)) {
+    return fast;
+  }
+
   // Hash-partition both inputs on the equi-keys (single bucket for a
   // pure temporal join).  NULL keys never equi-join, matching the
-  // three-valued semantics of the predicate they came from.
-  std::unordered_map<Row, Bucket, RowHash, RowEq> buckets;
+  // three-valued semantics of the predicate they came from.  Buckets
+  // are kept in first-appearance order of their key -- the same order
+  // the columnar lane produces, so the two lanes emit identical output.
+  std::unordered_map<Row, size_t, RowHash, RowEq> bucket_of;
+  std::vector<Bucket> buckets;
   auto stage = [&](const Relation& rel, bool is_left) {
     int bcol = is_left ? ov.left_begin : ov.right_begin;
     int ecol = is_left ? ov.left_end : ov.right_end;
@@ -199,7 +448,10 @@ Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
         key.push_back(v);
       }
       if (has_null) continue;
-      Bucket& bucket = buckets[key];
+      auto [bit, binserted] =
+          bucket_of.try_emplace(std::move(key), buckets.size());
+      if (binserted) buckets.emplace_back();
+      Bucket& bucket = buckets[bit->second];
       TimePoint b = 0;
       TimePoint e = 0;
       if (DecodeInterval(row, bcol, ecol, &b, &e)) {
@@ -225,18 +477,15 @@ Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
   // result row order depends only on the chunk plan, not on worker
   // scheduling.  A single-bucket join (pure temporal, no equi-keys)
   // stays sequential by construction.
-  std::vector<Bucket*> ordered;
-  ordered.reserve(buckets.size());
-  for (auto& [key, bucket] : buckets) ordered.push_back(&bucket);
   auto ranges = PlanChunks(ctx.num_threads(),
-                           static_cast<int64_t>(ordered.size()),
+                           static_cast<int64_t>(buckets.size()),
                            /*min_grain=*/1);
 
   if (ranges.size() <= 1) {
     Relation out(plan.schema);
     SweepScratch scratch;
-    for (Bucket* bucket : ordered) {
-      ProcessBucket(plan, *bucket, out, scratch);
+    for (Bucket& bucket : buckets) {
+      ProcessBucket(plan, bucket, out, scratch);
     }
     return out;
   }
@@ -245,7 +494,7 @@ Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
   RunChunks(ctx.pool->get(), ranges, [&](size_t c, int64_t b, int64_t e) {
     SweepScratch scratch;
     for (int64_t i = b; i < e; ++i) {
-      ProcessBucket(plan, *ordered[static_cast<size_t>(i)], outs[c], scratch);
+      ProcessBucket(plan, buckets[static_cast<size_t>(i)], outs[c], scratch);
     }
     chunk_stats[c].parallel_tasks = 1;
   });

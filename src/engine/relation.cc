@@ -1,11 +1,126 @@
 #include "engine/relation.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/status.h"
 #include "common/str_util.h"
 
 namespace periodk {
+
+Relation Relation::FromColumns(Schema schema, std::vector<ColumnData> columns,
+                               size_t num_rows) {
+  if (columns.size() != schema.size()) {
+    throw EngineError(StrCat("FromColumns: ", columns.size(),
+                             " columns but schema ", schema.ToString(),
+                             " has ", schema.size()));
+  }
+  for (const ColumnData& c : columns) {
+    if (c.size() != num_rows) {
+      throw EngineError(StrCat("FromColumns: column has ", c.size(),
+                               " rows, expected ", num_rows));
+    }
+  }
+  Relation out(std::move(schema));
+  out.columns_ = std::move(columns);
+  out.num_rows_ = num_rows;
+  out.columnar_ = true;
+  out.rows_ready_.store(false, std::memory_order_relaxed);
+  return out;
+}
+
+Relation::Relation(const Relation& other)
+    : schema_(other.schema_),
+      columns_(other.columns_),
+      num_rows_(other.num_rows_),
+      columnar_(other.columnar_) {
+  // The source may be a shared base table whose row view another
+  // thread is materializing right now; only touch other.rows_ once the
+  // release store says it is complete.
+  if (other.rows_ready_.load(std::memory_order_acquire)) {
+    rows_ = other.rows_;
+    rows_ready_.store(true, std::memory_order_relaxed);
+  } else {
+    rows_ready_.store(false, std::memory_order_relaxed);
+  }
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      rows_(std::move(other.rows_)),
+      columns_(std::move(other.columns_)),
+      num_rows_(other.num_rows_),
+      columnar_(other.columnar_) {
+  rows_ready_.store(other.rows_ready_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  other.columns_.clear();
+  other.num_rows_ = 0;
+  other.columnar_ = false;
+  other.rows_ready_.store(true, std::memory_order_relaxed);
+}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this != &other) {
+    Relation copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this != &other) {
+    schema_ = std::move(other.schema_);
+    rows_ = std::move(other.rows_);
+    columns_ = std::move(other.columns_);
+    num_rows_ = other.num_rows_;
+    columnar_ = other.columnar_;
+    rows_ready_.store(other.rows_ready_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    other.columns_.clear();
+    other.num_rows_ = 0;
+    other.columnar_ = false;
+    other.rows_ready_.store(true, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+void Relation::ToColumnar() {
+  if (columnar_) return;
+  std::vector<ColumnData> columns;
+  columns.reserve(schema_.size());
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    columns.push_back(ColumnData::Encode(rows_, c));
+  }
+  num_rows_ = rows_.size();
+  columns_ = std::move(columns);
+  columnar_ = true;
+  rows_.clear();
+  rows_.shrink_to_fit();
+  rows_ready_.store(false, std::memory_order_relaxed);
+}
+
+void Relation::MaterializeRows() const {
+  std::lock_guard<std::mutex> lock(rows_mu_);
+  if (rows_ready_.load(std::memory_order_relaxed)) return;
+  std::vector<Row> rows;
+  rows.reserve(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    Row row;
+    row.reserve(columns_.size());
+    for (const ColumnData& c : columns_) row.push_back(c.Get(i));
+    rows.push_back(std::move(row));
+  }
+  rows_ = std::move(rows);
+  rows_ready_.store(true, std::memory_order_release);
+}
+
+void Relation::DecayToRows() {
+  if (!columnar_) return;
+  if (!rows_ready_.load(std::memory_order_acquire)) MaterializeRows();
+  columns_.clear();
+  num_rows_ = 0;
+  columnar_ = false;
+}
 
 void Relation::ThrowArityMismatch(size_t got) const {
   throw EngineError(StrCat("AddRow: row has ", got, " values but schema ",
@@ -24,14 +139,15 @@ void Relation::CheckRowArities() const {
 }
 
 void Relation::SortRows() {
+  DecayToRows();
   std::sort(rows_.begin(), rows_.end(),
             [](const Row& a, const Row& b) { return CompareRows(a, b) < 0; });
 }
 
 bool Relation::BagEquals(const Relation& other) const {
   if (schema_.size() != other.schema_.size()) return false;
-  if (rows_.size() != other.rows_.size()) return false;
-  std::vector<Row> a = rows_, b = other.rows_;
+  if (size() != other.size()) return false;
+  std::vector<Row> a = rows(), b = other.rows();
   auto less = [](const Row& x, const Row& y) { return CompareRows(x, y) < 0; };
   std::sort(a.begin(), a.end(), less);
   std::sort(b.begin(), b.end(), less);
@@ -42,7 +158,7 @@ bool Relation::BagEquals(const Relation& other) const {
 }
 
 std::string Relation::ToString(size_t limit) const {
-  std::vector<Row> sorted = rows_;
+  std::vector<Row> sorted = rows();
   std::sort(sorted.begin(), sorted.end(),
             [](const Row& a, const Row& b) { return CompareRows(a, b) < 0; });
   std::string out = schema_.ToString();

@@ -2,13 +2,26 @@
 // and, with two trailing time columns, the paper's *SQL period
 // relations* (Section 8).  Multiplicity is represented by duplicate
 // rows, exactly as in SQL.
+//
+// A relation owns its data in one of two physical layouts:
+//   * row storage (the default for operator outputs): vector<Row>;
+//   * columnar storage (base tables, vectorized kernel outputs): one
+//     typed ColumnData per schema column (engine/column.h).
+// The row API is preserved over both: rows() on a columnar relation
+// lazily materializes a cached row *view* (thread-safe -- base tables
+// are shared across concurrent queries), and the mutating entry points
+// (AddRow, mutable_rows, SortRows, Reserve) decay columnar storage back
+// to rows first, so every pre-columnar call site works unchanged.
 #ifndef PERIODK_ENGINE_RELATION_H_
 #define PERIODK_ENGINE_RELATION_H_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/value.h"
+#include "engine/column.h"
 #include "engine/schema.h"
 
 namespace periodk {
@@ -22,20 +35,63 @@ class Relation {
     CheckRowArities();
   }
 
+  /// Adopts pre-built columns (vectorized kernel outputs).  Every
+  /// column must have exactly `num_rows` entries; `num_rows` is
+  /// explicit so zero-column relations (global aggregates) still carry
+  /// a row count.
+  static Relation FromColumns(Schema schema, std::vector<ColumnData> columns,
+                              size_t num_rows);
+
+  // Copyable and movable despite the view-cache synchronization
+  // members.  Copying from a shared columnar relation is safe while
+  // other threads materialize its row view: the copy takes the row
+  // cache only when it is already published.
+  Relation(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(const Relation& other);
+  Relation& operator=(Relation&& other) noexcept;
+
   const Schema& schema() const { return schema_; }
-  const std::vector<Row>& rows() const { return rows_; }
-  std::vector<Row>& mutable_rows() { return rows_; }
-  size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+
+  /// Row view.  For row storage this is the storage itself; for
+  /// columnar storage it materializes (once, thread-safely) a cached
+  /// vector<Row> copy of the columns.
+  const std::vector<Row>& rows() const {
+    if (!rows_ready_.load(std::memory_order_acquire)) MaterializeRows();
+    return rows_;
+  }
+
+  /// Mutable row access decays columnar storage to row storage.
+  std::vector<Row>& mutable_rows() {
+    DecayToRows();
+    return rows_;
+  }
+
+  size_t size() const { return columnar_ ? num_rows_ : rows_.size(); }
+  bool empty() const { return size() == 0; }
+
+  bool is_columnar() const { return columnar_; }
+  /// Columnar payload; valid only while is_columnar().
+  const std::vector<ColumnData>& columns() const { return columns_; }
+  const ColumnData& col(size_t i) const { return columns_[i]; }
+
+  /// Re-encodes row storage as typed columns (no-op when already
+  /// columnar).  The row vector is released; rows() rebuilds it on
+  /// demand.
+  void ToColumnar();
 
   /// Appends a row.  Rejects arity mismatches: a row narrower or wider
   /// than the schema would silently corrupt every downstream operator
   /// (the check is one integer compare, so it is always on).
   void AddRow(Row row) {
     if (row.size() != schema_.size()) ThrowArityMismatch(row.size());
+    if (columnar_) DecayToRows();
     rows_.push_back(std::move(row));
   }
-  void Reserve(size_t n) { rows_.reserve(n); }
+  void Reserve(size_t n) {
+    if (columnar_) DecayToRows();
+    rows_.reserve(n);
+  }
 
   /// Sorts rows lexicographically; canonical order for comparisons and
   /// printing (a multiset has no inherent order).
@@ -52,9 +108,20 @@ class Relation {
   /// Bulk-construction counterpart of the AddRow check: one integer
   /// compare per row, negligible next to whatever produced the rows.
   void CheckRowArities() const;
+  void MaterializeRows() const;
+  void DecayToRows();
 
   Schema schema_;
-  std::vector<Row> rows_;
+  mutable std::vector<Row> rows_;    // storage, or cached columnar view
+  std::vector<ColumnData> columns_;  // authoritative when columnar_
+  size_t num_rows_ = 0;              // row count while columnar_
+  bool columnar_ = false;
+  // False only for a columnar relation whose row view has not been
+  // materialized yet.  acquire/release pairs with MaterializeRows so
+  // concurrent readers of a shared base table never see a half-built
+  // view.
+  mutable std::atomic<bool> rows_ready_{true};
+  mutable std::mutex rows_mu_;
 };
 
 }  // namespace periodk

@@ -11,15 +11,33 @@ Schema Schema::FromNames(const std::vector<std::string>& names) {
   return Schema(std::move(columns));
 }
 
+const Schema::NameIndex& Schema::EnsureIndex() const {
+  NameIndex* index = index_.get();
+  std::call_once(index->once, [this, index] {
+    index->by_name.reserve(columns_.size());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      index->by_name[ToLower(columns_[i].name)].push_back(
+          static_cast<int>(i));
+    }
+  });
+  return *index;
+}
+
 int Schema::Find(const std::string& qualifier, const std::string& name) const {
+  const NameIndex& index = EnsureIndex();
+  auto it = index.by_name.find(ToLower(name));
+  if (it == index.by_name.end()) return -1;
+  // Candidates are in column order, so duplicate-name shadowing (-2 on
+  // two unqualified matches, qualifier narrowing) behaves exactly like
+  // the old whole-schema linear scan.
   int found = -1;
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    if (!EqualsIgnoreCase(columns_[i].name, name)) continue;
-    if (!qualifier.empty() && !EqualsIgnoreCase(columns_[i].table, qualifier)) {
+  for (int i : it->second) {
+    if (!qualifier.empty() &&
+        !EqualsIgnoreCase(columns_[static_cast<size_t>(i)].table, qualifier)) {
       continue;
     }
     if (found >= 0) return -2;  // ambiguous
-    found = static_cast<int>(i);
+    found = i;
   }
   return found;
 }

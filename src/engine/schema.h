@@ -4,7 +4,10 @@
 #ifndef PERIODK_ENGINE_SCHEMA_H_
 #define PERIODK_ENGINE_SCHEMA_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace periodk {
@@ -30,6 +33,27 @@ class Schema {
   explicit Schema(std::vector<Column> columns)
       : columns_(std::move(columns)) {}
 
+  // Copies and moves take the column list but not the lazily built
+  // name-lookup index: each Schema object owns a private index, so two
+  // objects never share one (a shared index would have to stay in sync
+  // across independent Append calls).
+  Schema(const Schema& other) : columns_(other.columns_) {}
+  Schema(Schema&& other) noexcept : columns_(std::move(other.columns_)) {}
+  Schema& operator=(const Schema& other) {
+    if (this != &other) {
+      columns_ = other.columns_;
+      InvalidateIndex();
+    }
+    return *this;
+  }
+  Schema& operator=(Schema&& other) noexcept {
+    if (this != &other) {
+      columns_ = std::move(other.columns_);
+      InvalidateIndex();
+    }
+    return *this;
+  }
+
   /// Convenience: unqualified column names.
   static Schema FromNames(const std::vector<std::string>& names);
 
@@ -37,11 +61,17 @@ class Schema {
   const Column& at(size_t i) const { return columns_[i]; }
   const std::vector<Column>& columns() const { return columns_; }
 
-  void Append(Column column) { columns_.push_back(std::move(column)); }
+  void Append(Column column) {
+    columns_.push_back(std::move(column));
+    InvalidateIndex();
+  }
 
   /// Resolves an (optionally qualified) column reference.  Returns the
   /// index of the unique match, -1 if there is no match, or -2 if the
-  /// reference is ambiguous.  Matching is case-insensitive.
+  /// reference is ambiguous.  Matching is case-insensitive.  O(1)
+  /// expected: candidates come from a lazily built name->index map
+  /// (the binder calls this per column reference, and some row-at-a-
+  /// time paths per row).
   int Find(const std::string& qualifier, const std::string& name) const;
 
   /// Concatenation (join output schema).
@@ -58,7 +88,20 @@ class Schema {
   std::string ToString() const;
 
  private:
+  // Lazy lookup index: lowercase name -> candidate column positions.
+  // Built at most once per Schema object (std::call_once, so concurrent
+  // Find calls on a shared const Schema -- catalog schemas are read
+  // from many query threads -- are race-free); any mutation swaps in a
+  // fresh unbuilt index.
+  struct NameIndex {
+    std::once_flag once;
+    std::unordered_map<std::string, std::vector<int>> by_name;
+  };
+  const NameIndex& EnsureIndex() const;
+  void InvalidateIndex() { index_ = std::make_shared<NameIndex>(); }
+
   std::vector<Column> columns_;
+  mutable std::shared_ptr<NameIndex> index_ = std::make_shared<NameIndex>();
 };
 
 }  // namespace periodk

@@ -42,83 +42,182 @@ bool DecodeRowInterval(const Row& row, size_t nattr, TimePoint* b,
   return *b < *e;
 }
 
-}  // namespace
+using Intervals = std::vector<std::pair<TimePoint, TimePoint>>;
 
-Relation CoalesceNative(const Relation& input, const OpContext& ctx) {
-  size_t nattr = NonTemporalArity(input, "Coalesce");
-  std::unordered_map<Row, std::vector<std::pair<TimePoint, TimePoint>>,
-                     RowHash, RowEq>
-      groups;
+// One coalesced maximal segment [begin, end) carrying `count`
+// duplicates.
+struct CoalescedSegment {
+  TimePoint begin = 0;
+  TimePoint end = 0;
+  int64_t count = 0;
+};
+
+// Endpoint sweep over one group's intervals: ±1 events, segments
+// between annotation changepoints.  Shared by the row and columnar
+// grouping paths, so coalesce output is a pure function of the logical
+// input regardless of storage layout.
+void SweepIntervalsToSegments(const Intervals& intervals,
+                              std::vector<std::pair<TimePoint, int64_t>>& events,
+                              std::vector<CoalescedSegment>& out) {
+  events.clear();
+  events.reserve(intervals.size() * 2);
+  for (const auto& [b, e] : intervals) {
+    events.emplace_back(b, 1);
+    events.emplace_back(e, -1);
+  }
+  std::sort(events.begin(), events.end());
+  int64_t count = 0;
+  TimePoint seg_start = 0;
+  size_t i = 0;
+  while (i < events.size()) {
+    TimePoint t = events[i].first;
+    int64_t delta = 0;
+    while (i < events.size() && events[i].first == t) {
+      delta += events[i].second;
+      ++i;
+    }
+    int64_t next = count + delta;
+    if (next == count) continue;  // not an annotation changepoint
+    if (count > 0) out.push_back({seg_start, t, count});
+    seg_start = t;
+    count = next;
+  }
+}
+
+// Coalesce groups in first-appearance order of their key -- identical
+// whichever storage representation produced them.
+struct CoalesceGroups {
+  std::vector<Intervals> intervals;  // per group id
+  std::vector<Row> keys;             // row path: key per group id
+  std::vector<uint32_t> rep;         // columnar path: representative row
+  bool columnar = false;
+};
+
+// Columnar grouping: packed uint64 keys over the attribute columns and
+// raw endpoint arrays.  Requires the endpoint columns to be pure
+// non-null int (anything else must throw through TimeOf on the row
+// path) and the key columns to be FastKeyable.
+bool TryColumnarCoalesceGroups(const Relation& input, size_t nattr,
+                               CoalesceGroups* g) {
+  if (!input.is_columnar()) return false;
+  const std::vector<ColumnData>& cols = input.columns();
+  const ColumnData& bc = cols[nattr];
+  const ColumnData& ec = cols[nattr + 1];
+  if (bc.tag() != ColumnTag::kInt || bc.has_nulls()) return false;
+  if (ec.tag() != ColumnTag::kInt || ec.has_nulls()) return false;
+  std::vector<int> key_cols(nattr);
+  for (size_t c = 0; c < nattr; ++c) key_cols[c] = static_cast<int>(c);
+  std::vector<uint64_t> packed;
+  if (!BuildPackedKeys(cols, key_cols, input.size(), &packed)) return false;
+  const int64_t* bs = bc.ints();
+  const int64_t* es = ec.ints();
+  size_t width = nattr + 1;
+  PackedKeyMap map(width, /*expected=*/64);
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (bs[i] >= es[i]) continue;  // empty validity: annotation 0
+    uint32_t gid = map.FindOrInsert(&packed[i * width]);
+    if (gid == g->intervals.size()) {
+      g->intervals.emplace_back();
+      g->rep.push_back(static_cast<uint32_t>(i));
+    }
+    g->intervals[gid].emplace_back(bs[i], es[i]);
+  }
+  g->columnar = true;
+  return true;
+}
+
+void RowCoalesceGroups(const Relation& input, size_t nattr,
+                       CoalesceGroups* g) {
+  std::unordered_map<Row, uint32_t, RowHash, RowEq> gid_of;
   for (const Row& row : input.rows()) {
     TimePoint b = 0;
     TimePoint e = 0;
     if (!DecodeRowInterval(row, nattr, &b, &e)) continue;
     Row key(row.begin(), row.begin() + static_cast<long>(nattr));
-    groups[key].emplace_back(b, e);
+    auto [it, inserted] = gid_of.try_emplace(std::move(key),
+                                             static_cast<uint32_t>(
+                                                 g->intervals.size()));
+    if (inserted) {
+      g->intervals.emplace_back();
+      g->keys.push_back(it->first);
+    }
+    g->intervals[it->second].emplace_back(b, e);
   }
+}
 
-  using Intervals = std::vector<std::pair<TimePoint, TimePoint>>;
-  auto sweep_group = [&](const Row& key, Intervals& intervals, Relation& out,
-                         std::vector<std::pair<TimePoint, int64_t>>& events) {
-    events.clear();
-    events.reserve(intervals.size() * 2);
-    for (auto& [b, e] : intervals) {
-      events.emplace_back(b, 1);
-      events.emplace_back(e, -1);
-    }
-    std::sort(events.begin(), events.end());
-    int64_t count = 0;
-    TimePoint seg_start = 0;
-    size_t i = 0;
-    while (i < events.size()) {
-      TimePoint t = events[i].first;
-      int64_t delta = 0;
-      while (i < events.size() && events[i].first == t) {
-        delta += events[i].second;
-        ++i;
-      }
-      int64_t next = count + delta;
-      if (next == count) continue;  // not an annotation changepoint
-      if (count > 0) {
-        for (int64_t c = 0; c < count; ++c) {
-          Row row = key;
-          row.push_back(Value::Int(seg_start));
-          row.push_back(Value::Int(t));
-          out.AddRow(std::move(row));
-        }
-      }
-      seg_start = t;
-      count = next;
-    }
-  };
+}  // namespace
+
+Relation CoalesceNative(const Relation& input, const OpContext& ctx) {
+  size_t nattr = NonTemporalArity(input, "Coalesce");
+  CoalesceGroups groups;
+  if (!TryColumnarCoalesceGroups(input, nattr, &groups)) {
+    RowCoalesceGroups(input, nattr, &groups);
+  }
+  size_t ngroups = groups.intervals.size();
 
   // The per-group sweeps are independent: chunks of groups fan out to
-  // the pool, each into its own output slot.
-  std::vector<std::pair<const Row*, Intervals*>> ordered;
-  ordered.reserve(groups.size());
-  for (auto& [key, intervals] : groups) ordered.emplace_back(&key, &intervals);
-  auto ranges = PlanChunks(ctx.num_threads(),
-                           static_cast<int64_t>(ordered.size()),
+  // the pool, each into its own segment slots.
+  std::vector<std::vector<CoalescedSegment>> segments(ngroups);
+  auto ranges = PlanChunks(ctx.num_threads(), static_cast<int64_t>(ngroups),
                            /*min_grain=*/1);
   if (ranges.size() <= 1) {
-    Relation out(input.schema());
     std::vector<std::pair<TimePoint, int64_t>> events;
-    for (auto& [key, intervals] : ordered) {
-      sweep_group(*key, *intervals, out, events);
+    for (size_t gi = 0; gi < ngroups; ++gi) {
+      SweepIntervalsToSegments(groups.intervals[gi], events, segments[gi]);
     }
-    return out;
+  } else {
+    std::vector<ExecStats> chunk_stats(ranges.size());
+    RunChunks(ctx.pool->get(), ranges, [&](size_t c, int64_t b, int64_t e) {
+      std::vector<std::pair<TimePoint, int64_t>> events;
+      for (int64_t gi = b; gi < e; ++gi) {
+        SweepIntervalsToSegments(groups.intervals[static_cast<size_t>(gi)],
+                                 events, segments[static_cast<size_t>(gi)]);
+      }
+      chunk_stats[c].parallel_tasks = 1;
+    });
+    if (ctx.stats != nullptr) {
+      for (const ExecStats& s : chunk_stats) ctx.stats->Merge(s);
+    }
   }
-  std::vector<Relation> outs(ranges.size(), Relation(input.schema()));
-  std::vector<ExecStats> chunk_stats(ranges.size());
-  RunChunks(ctx.pool->get(), ranges, [&](size_t c, int64_t b, int64_t e) {
-    std::vector<std::pair<TimePoint, int64_t>> events;
-    for (int64_t i = b; i < e; ++i) {
-      auto& [key, intervals] = ordered[static_cast<size_t>(i)];
-      sweep_group(*key, *intervals, outs[c], events);
+
+  // Emission in group order.  The columnar path gathers the attribute
+  // prefix straight from the input columns (dictionary codes copied,
+  // dictionaries shared); the row path rebuilds rows.
+  if (groups.columnar) {
+    std::vector<uint32_t> src;  // input row index per output row
+    std::vector<int64_t> out_b;
+    std::vector<int64_t> out_e;
+    for (size_t gi = 0; gi < ngroups; ++gi) {
+      for (const CoalescedSegment& s : segments[gi]) {
+        for (int64_t c = 0; c < s.count; ++c) {
+          src.push_back(groups.rep[gi]);
+          out_b.push_back(s.begin);
+          out_e.push_back(s.end);
+        }
+      }
     }
-    chunk_stats[c].parallel_tasks = 1;
-  });
-  return GatherChunks(std::move(outs), std::move(chunk_stats), ctx);
+    size_t n = src.size();
+    std::vector<ColumnData> out_cols;
+    out_cols.reserve(nattr + 2);
+    for (size_t c = 0; c < nattr; ++c) {
+      out_cols.push_back(ColumnData::Gather(input.col(c), src));
+    }
+    out_cols.push_back(ColumnData::FromInts(std::move(out_b)));
+    out_cols.push_back(ColumnData::FromInts(std::move(out_e)));
+    return Relation::FromColumns(input.schema(), std::move(out_cols), n);
+  }
+  Relation out(input.schema());
+  for (size_t gi = 0; gi < ngroups; ++gi) {
+    for (const CoalescedSegment& s : segments[gi]) {
+      for (int64_t c = 0; c < s.count; ++c) {
+        Row row = groups.keys[gi];
+        row.push_back(Value::Int(s.begin));
+        row.push_back(Value::Int(s.end));
+        out.AddRow(std::move(row));
+      }
+    }
+  }
+  return out;
 }
 
 Relation CoalesceWindow(const Relation& input) {
@@ -389,35 +488,126 @@ Relation SplitAggregateRelation(const Relation& input,
 
   // Phase 1: pre-aggregate per (group, begin, end).  Without the
   // optimization every row becomes its own partial (ablation mode).
-  std::unordered_map<Row, std::vector<Partial>, RowHash, RowEq> groups;
-  std::unordered_map<Row, size_t, RowHash, RowEq> cell_index;
-  int64_t row_ordinal = 0;
-  for (const Row& row : input.rows()) {
-    TimePoint b = 0;
-    TimePoint e = 0;
-    if (!DecodeRowInterval(row, nattr, &b, &e)) continue;
-    Row group;
-    group.reserve(group_cols.size());
-    for (int c : group_cols) group.push_back(row[static_cast<size_t>(c)]);
-    Row cell = group;
-    cell.push_back(Value::Int(b));
-    cell.push_back(Value::Int(e));
-    if (!pre_aggregate) cell.push_back(Value::Int(row_ordinal++));
-    auto [it, inserted] = cell_index.try_emplace(cell, 0);
-    std::vector<Partial>& partials = groups[group];
-    if (inserted) {
-      it->second = partials.size();
-      Partial p;
-      p.begin = b;
-      p.end = e;
-      p.states.resize(aggs.size());
-      partials.push_back(std::move(p));
+  // Groups are kept in first-appearance order -- identical for both
+  // storage layouts, so the fragment output order is a pure function of
+  // the logical input.
+  std::vector<Row> group_keys;
+  std::vector<std::vector<Partial>> group_partials;
+
+  // Columnar fast path: packed uint64 keys over the group columns and
+  // raw endpoint arrays.  Aggregate arguments must be plain column
+  // references (they are in every rewriter-produced plan); falls back
+  // whenever the row path could throw (non-int or NULL endpoints) or
+  // packed keys cannot represent the grouping exactly.
+  auto columnar_phase1 = [&]() -> bool {
+    if (!input.is_columnar()) return false;
+    const std::vector<ColumnData>& cols = input.columns();
+    const ColumnData& bc = cols[nattr];
+    const ColumnData& ec = cols[nattr + 1];
+    if (bc.tag() != ColumnTag::kInt || bc.has_nulls()) return false;
+    if (ec.tag() != ColumnTag::kInt || ec.has_nulls()) return false;
+    std::vector<int> agg_cols(aggs.size(), -1);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      if (aggs[a].func == AggFunc::kCountStar) continue;
+      const ExprPtr& arg = aggs[a].arg;
+      if (arg == nullptr || arg->kind != ExprKind::kColumn) return false;
+      agg_cols[a] = arg->column;
     }
-    Partial& p = partials[it->second];
-    p.star += 1;
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      if (aggs[i].func == AggFunc::kCountStar) continue;
-      p.states[i].Accumulate(aggs[i].arg->Eval(row));
+    std::vector<uint64_t> packed;
+    if (!BuildPackedKeys(cols, group_cols, input.size(), &packed)) {
+      return false;
+    }
+    const int64_t* bs = bc.ints();
+    const int64_t* es = ec.ints();
+    size_t gwidth = group_cols.size() + 1;
+    size_t cwidth = gwidth + (pre_aggregate ? 2 : 3);
+    PackedKeyMap group_map(gwidth, /*expected=*/64);
+    PackedKeyMap cell_map(cwidth, /*expected=*/64);
+    std::vector<uint32_t> group_rep;  // representative input row per group
+    std::vector<std::pair<uint32_t, uint32_t>> cell_ref;  // cell id -> slot
+    std::vector<uint64_t> cell_key(cwidth);
+    int64_t row_ordinal = 0;
+    for (size_t i = 0; i < input.size(); ++i) {
+      if (bs[i] >= es[i]) continue;
+      const uint64_t* gkey = &packed[i * gwidth];
+      uint32_t gid = group_map.FindOrInsert(gkey);
+      if (gid == group_partials.size()) {
+        group_partials.emplace_back();
+        group_rep.push_back(static_cast<uint32_t>(i));
+      }
+      std::copy(gkey, gkey + gwidth, cell_key.begin());
+      cell_key[gwidth] = static_cast<uint64_t>(bs[i]);
+      cell_key[gwidth + 1] = static_cast<uint64_t>(es[i]);
+      if (!pre_aggregate) {
+        cell_key[gwidth + 2] = static_cast<uint64_t>(row_ordinal++);
+      }
+      uint32_t cid = cell_map.FindOrInsert(cell_key.data());
+      if (cid == cell_ref.size()) {
+        std::vector<Partial>& partials = group_partials[gid];
+        cell_ref.emplace_back(gid, static_cast<uint32_t>(partials.size()));
+        Partial p;
+        p.begin = bs[i];
+        p.end = es[i];
+        p.states.resize(aggs.size());
+        partials.push_back(std::move(p));
+      }
+      Partial& p = group_partials[cell_ref[cid].first][cell_ref[cid].second];
+      p.star += 1;
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        if (agg_cols[a] < 0) continue;
+        p.states[a].AccumulateColumn(cols[static_cast<size_t>(agg_cols[a])],
+                                     i);
+      }
+    }
+    group_keys.reserve(group_partials.size());
+    for (uint32_t rep : group_rep) {
+      Row key;
+      key.reserve(group_cols.size());
+      for (int c : group_cols) {
+        key.push_back(cols[static_cast<size_t>(c)].Get(rep));
+      }
+      group_keys.push_back(std::move(key));
+    }
+    return true;
+  };
+
+  if (!columnar_phase1()) {
+    std::unordered_map<Row, uint32_t, RowHash, RowEq> gid_of;
+    std::unordered_map<Row, size_t, RowHash, RowEq> cell_index;
+    int64_t row_ordinal = 0;
+    for (const Row& row : input.rows()) {
+      TimePoint b = 0;
+      TimePoint e = 0;
+      if (!DecodeRowInterval(row, nattr, &b, &e)) continue;
+      Row group;
+      group.reserve(group_cols.size());
+      for (int c : group_cols) group.push_back(row[static_cast<size_t>(c)]);
+      auto [git, ginserted] = gid_of.try_emplace(
+          group, static_cast<uint32_t>(group_partials.size()));
+      if (ginserted) {
+        group_keys.push_back(group);
+        group_partials.emplace_back();
+      }
+      Row cell = std::move(group);
+      cell.push_back(Value::Int(b));
+      cell.push_back(Value::Int(e));
+      if (!pre_aggregate) cell.push_back(Value::Int(row_ordinal++));
+      auto [it, inserted] = cell_index.try_emplace(std::move(cell), 0);
+      std::vector<Partial>& partials = group_partials[git->second];
+      if (inserted) {
+        it->second = partials.size();
+        Partial p;
+        p.begin = b;
+        p.end = e;
+        p.states.resize(aggs.size());
+        partials.push_back(std::move(p));
+      }
+      Partial& p = partials[it->second];
+      p.star += 1;
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        if (aggs[i].func == AggFunc::kCountStar) continue;
+        p.states[i].Accumulate(aggs[i].arg->Eval(row));
+      }
     }
   }
   // Global aggregation over an empty input still produces the
@@ -425,8 +615,9 @@ Relation SplitAggregateRelation(const Relation& input,
   // emitted per *observed* group, and an empty input has none (a
   // synthetic empty-key group would emit rows narrower than the output
   // schema).
-  if (gap_rows && group_cols.empty() && groups.empty()) {
-    groups[Row{}] = {};
+  if (gap_rows && group_cols.empty() && group_partials.empty()) {
+    group_keys.emplace_back();
+    group_partials.emplace_back();
   }
 
   // Phase 2: per group, sweep partial endpoints maintaining running
@@ -492,17 +683,14 @@ Relation SplitAggregateRelation(const Relation& input,
 
   // The per-group sweeps are independent; chunks of groups fan out to
   // the pool exactly like the coalesce sweep.
-  std::vector<std::pair<const Row*, const std::vector<Partial>*>> ordered;
-  ordered.reserve(groups.size());
-  for (auto& [group, partials] : groups) {
-    ordered.emplace_back(&group, &partials);
-  }
-  auto ranges = PlanChunks(ctx.num_threads(),
-                           static_cast<int64_t>(ordered.size()),
+  size_t ngroups = group_partials.size();
+  auto ranges = PlanChunks(ctx.num_threads(), static_cast<int64_t>(ngroups),
                            /*min_grain=*/1);
   if (ranges.size() <= 1) {
     Relation out(std::move(schema));
-    for (auto& [group, partials] : ordered) sweep_group(*group, *partials, out);
+    for (size_t gi = 0; gi < ngroups; ++gi) {
+      sweep_group(group_keys[gi], group_partials[gi], out);
+    }
     return out;
   }
   std::vector<Relation> outs;
@@ -510,9 +698,9 @@ Relation SplitAggregateRelation(const Relation& input,
   for (size_t c = 0; c < ranges.size(); ++c) outs.emplace_back(schema);
   std::vector<ExecStats> chunk_stats(ranges.size());
   RunChunks(ctx.pool->get(), ranges, [&](size_t c, int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) {
-      auto& [group, partials] = ordered[static_cast<size_t>(i)];
-      sweep_group(*group, *partials, outs[c]);
+    for (int64_t gi = b; gi < e; ++gi) {
+      sweep_group(group_keys[static_cast<size_t>(gi)],
+                  group_partials[static_cast<size_t>(gi)], outs[c]);
     }
     chunk_stats[c].parallel_tasks = 1;
   });
@@ -535,6 +723,31 @@ Relation TimesliceEncodedAt(const Relation& input, TimePoint t,
     keep.push_back(c);
     schema.Append(input.schema().at(static_cast<size_t>(c)));
   }
+  // Columnar inputs with pure int endpoints filter on the raw arrays
+  // and gather the kept columns; row order is preserved either way.
+  // (Any other endpoint representation must throw through TimeOf, so it
+  // takes the row loop.)
+  if (input.is_columnar()) {
+    const ColumnData& bc = input.col(static_cast<size_t>(begin_col));
+    const ColumnData& ec = input.col(static_cast<size_t>(end_col));
+    if (bc.tag() == ColumnTag::kInt && !bc.has_nulls() &&
+        ec.tag() == ColumnTag::kInt && !ec.has_nulls()) {
+      const int64_t* bs = bc.ints();
+      const int64_t* es = ec.ints();
+      std::vector<uint32_t> alive;
+      for (size_t i = 0; i < input.size(); ++i) {
+        if (bs[i] <= t && t < es[i]) alive.push_back(static_cast<uint32_t>(i));
+      }
+      std::vector<ColumnData> cols;
+      cols.reserve(keep.size());
+      for (int c : keep) {
+        cols.push_back(
+            ColumnData::Gather(input.col(static_cast<size_t>(c)), alive));
+      }
+      return Relation::FromColumns(std::move(schema), std::move(cols),
+                                   alive.size());
+    }
+  }
   Relation out(std::move(schema));
   for (const Row& row : input.rows()) {
     TimePoint b = TimeOf(row[static_cast<size_t>(begin_col)]);
@@ -551,6 +764,26 @@ Relation TimesliceEncodedAt(const Relation& input, TimePoint t,
 
 Relation TimesliceEncoded(const Relation& input, TimePoint t) {
   size_t nattr = NonTemporalArity(input, "Timeslice");
+  if (input.is_columnar()) {
+    const ColumnData& bc = input.col(nattr);
+    const ColumnData& ec = input.col(nattr + 1);
+    if (bc.tag() == ColumnTag::kInt && !bc.has_nulls() &&
+        ec.tag() == ColumnTag::kInt && !ec.has_nulls()) {
+      const int64_t* bs = bc.ints();
+      const int64_t* es = ec.ints();
+      std::vector<uint32_t> alive;
+      for (size_t i = 0; i < input.size(); ++i) {
+        if (bs[i] <= t && t < es[i]) alive.push_back(static_cast<uint32_t>(i));
+      }
+      std::vector<ColumnData> cols;
+      cols.reserve(nattr);
+      for (size_t c = 0; c < nattr; ++c) {
+        cols.push_back(ColumnData::Gather(input.col(c), alive));
+      }
+      return Relation::FromColumns(input.schema().Prefix(nattr),
+                                   std::move(cols), alive.size());
+    }
+  }
   Relation out(input.schema().Prefix(nattr));
   for (const Row& row : input.rows()) {
     TimePoint b = TimeOf(row[nattr]);

@@ -51,10 +51,12 @@ Status TemporalDB::CreateTable(const std::string& name,
     return Status::AlreadyExists(StrCat("table exists: ", name));
   }
   Relation table{Schema::FromNames(columns)};
+  if (columnar_storage_) table.ToColumnar();
   {
     std::unique_lock<std::shared_mutex> lock(catalog_mu_);
     catalog_.Put(name, std::move(table));
     ++catalog_generation_;
+    table_versions_[name] = catalog_generation_;
   }
   InvalidatePlanCache();
   return Status::OK();
@@ -79,11 +81,14 @@ Status TemporalDB::CreatePeriodTable(const std::string& name,
   if (catalog_.Has(name)) {
     return Status::AlreadyExists(StrCat("table exists: ", name));
   }
+  Relation table{std::move(schema)};
+  if (columnar_storage_) table.ToColumnar();
   {
     std::unique_lock<std::shared_mutex> lock(catalog_mu_);
-    catalog_.Put(name, Relation(std::move(schema)));
+    catalog_.Put(name, std::move(table));
     period_tables_[name] = sql::PeriodTableInfo{begin_column, end_column};
     ++catalog_generation_;
+    table_versions_[name] = catalog_generation_;
   }
   InvalidatePlanCache();
   return Status::OK();
@@ -104,13 +109,15 @@ Status TemporalDB::PutPeriodTable(const std::string& name, Relation relation,
                ") must be part of the schema"));
   }
   std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  if (columnar_storage_) relation.ToColumnar();
   {
     std::unique_lock<std::shared_mutex> lock(catalog_mu_);
     catalog_.Put(name, std::move(relation));
     period_tables_[name] = sql::PeriodTableInfo{begin_column, end_column};
     ++catalog_generation_;
+    table_versions_[name] = catalog_generation_;
   }
-  InvalidatePlanCache();
+  InvalidatePlanCacheForTable(name);
   return Status::OK();
 }
 
@@ -129,12 +136,14 @@ Status TemporalDB::Insert(const std::string& table, Row row) {
   // old relation alive and untouched.
   Relation next = *current;
   next.AddRow(std::move(row));
+  if (columnar_storage_) next.ToColumnar();
   {
     std::unique_lock<std::shared_mutex> lock(catalog_mu_);
     catalog_.Put(table, std::move(next));
     ++catalog_generation_;
+    table_versions_[table] = catalog_generation_;
   }
-  InvalidatePlanCache();
+  InvalidatePlanCacheForTable(table);
   return Status::OK();
 }
 
@@ -158,12 +167,14 @@ Status TemporalDB::InsertRows(const std::string& table,
   Relation next = *current;
   next.Reserve(next.size() + rows.size());
   for (Row& row : rows) next.AddRow(std::move(row));
+  if (columnar_storage_) next.ToColumnar();
   {
     std::unique_lock<std::shared_mutex> lock(catalog_mu_);
     catalog_.Put(table, std::move(next));
     ++catalog_generation_;
+    table_versions_[table] = catalog_generation_;
   }
-  InvalidatePlanCache();
+  InvalidatePlanCacheForTable(table);
   return Status::OK();
 }
 
@@ -174,6 +185,27 @@ void TemporalDB::InvalidatePlanCache() {
   if (plan_cache_.empty()) return;
   plan_cache_.clear();
   ++cache_stats_.invalidations;
+}
+
+void TemporalDB::InvalidatePlanCacheForTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  size_t dropped = 0;
+  for (auto it = plan_cache_.begin(); it != plan_cache_.end();) {
+    bool reads_table = false;
+    for (const auto& [name, version] : it->second.table_versions) {
+      if (name == table) {
+        reads_table = true;
+        break;
+      }
+    }
+    if (reads_table) {
+      it = plan_cache_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) ++cache_stats_.invalidations;
 }
 
 PlanCacheStats TemporalDB::plan_cache_stats() const {
@@ -187,8 +219,8 @@ void TemporalDB::set_plan_cache_enabled(bool enabled) {
   std::lock_guard<std::mutex> lock(plan_cache_mu_);
   plan_cache_enabled_ = enabled;
   // Disabling drops every entry: a bound plan from before the toggle
-  // must not resurface after re-enabling (the generation tag would
-  // already refuse to serve it across a mutation, but an explicit
+  // must not resurface after re-enabling (the per-table version tags
+  // would already refuse to serve stale entries, but an explicit
   // disable means "no cached state, period").
   if (!enabled) plan_cache_.clear();
 }
@@ -198,7 +230,8 @@ void TemporalDB::set_plan_cache_enabled(bool enabled) {
 
 TemporalDB::Snapshot TemporalDB::PinSnapshot() const {
   std::shared_lock<std::shared_mutex> lock(catalog_mu_);
-  return Snapshot{catalog_, period_tables_, catalog_generation_};
+  return Snapshot{catalog_, period_tables_, catalog_generation_,
+                  table_versions_};
 }
 
 std::shared_ptr<const TimelineIndex> TemporalDB::EnsureTimelineIndex(
@@ -311,10 +344,22 @@ Result<PlanPtr> TemporalDB::PlanForSnapshot(const std::string& sql,
     use_cache = plan_cache_enabled_;
     if (use_cache) {
       auto it = plan_cache_.find(key);
-      if (it != plan_cache_.end() &&
-          it->second.generation == snap.generation) {
-        ++cache_stats_.hits;
-        return it->second.plan;
+      if (it != plan_cache_.end()) {
+        // An entry is served iff every base table it was bound against
+        // is still at the version the binding saw.  Mutations of tables
+        // the plan never reads leave it hot.
+        bool valid = true;
+        for (const auto& [table, version] : it->second.table_versions) {
+          auto tv = snap.table_versions.find(table);
+          if (tv == snap.table_versions.end() || tv->second != version) {
+            valid = false;
+            break;
+          }
+        }
+        if (valid) {
+          ++cache_stats_.hits;
+          return it->second.plan;
+        }
       }
       ++cache_stats_.misses;
     }
@@ -327,14 +372,25 @@ Result<PlanPtr> TemporalDB::PlanForSnapshot(const std::string& sql,
   if (!bound.ok()) return bound.status();
   Result<PlanPtr> plan = PlanBound(*bound, options);
   if (use_cache && plan.ok()) {
+    // Record the base tables the plan reads at the versions the pinned
+    // snapshot saw: the entry stays valid exactly as long as none of
+    // those tables mutates.  A table absent from the snapshot's version
+    // map (never published through a writer) pins version 0 and can
+    // never be served once it appears — the conservative direction.
+    std::vector<std::pair<std::string, uint64_t>> versions;
+    for (const std::string& table : CollectScanTables(*plan)) {
+      auto tv = snap.table_versions.find(table);
+      versions.emplace_back(table,
+                            tv == snap.table_versions.end() ? 0 : tv->second);
+    }
     std::lock_guard<std::mutex> lock(plan_cache_mu_);
     // Re-check the toggle: a disable while we planned means "cache
-    // nothing".  The generation tag carries the snapshot this plan is
+    // nothing".  The version tags carry the snapshot state this plan is
     // valid for, so an insert racing a catalog mutation is harmless —
     // queries pinned to any other state simply miss.
     if (plan_cache_enabled_) {
       if (plan_cache_.size() >= kPlanCacheMaxEntries) plan_cache_.clear();
-      plan_cache_.insert_or_assign(key, CachedPlan{*plan, snap.generation});
+      plan_cache_.insert_or_assign(key, CachedPlan{*plan, std::move(versions)});
     }
   }
   return plan;

@@ -24,11 +24,18 @@
 // writer mutates; no external locking is needed.
 //
 // Serving path: executable plans are cached per (SQL text, rewrite
-// options).  Each cache entry is tagged with the catalog generation its
-// plan was built against and is served only to queries pinned at that
-// same generation, so a plan raced by a catalog mutation (or by a
-// cache disable/re-enable toggle) can never be served stale — on top of
-// that, every mutation and every disable flushes the cache outright.
+// options).  Each cache entry records the base tables its plan scans
+// and the per-table version each was at when the plan was bound; an
+// entry is served only to queries whose pinned snapshot still has every
+// one of those tables at the recorded version, so a plan raced by a
+// catalog mutation (or by a cache disable/re-enable toggle) can never
+// be served stale.  Invalidation is per table: mutating T (Insert /
+// InsertRows / PutPeriodTable) evicts only the plans that read T, so a
+// hot plan survives writes to unrelated tables.  Creating a table
+// conservatively flushes everything; disabling the cache drops it
+// outright.  Tables are stored columnar (engine/column.h) by default:
+// writers re-encode the mutated copy before publishing it, so every
+// query scans typed column arrays.
 // Point-in-time reads (SEQ VT AS OF, Timeslice) are answered from
 // per-table timeline indexes (engine/timeline_index.h) built lazily on
 // the first indexed read and invalidated copy-on-write exactly like
@@ -55,7 +62,7 @@ namespace periodk {
 struct PlanCacheStats {
   int64_t hits = 0;
   int64_t misses = 0;        // lookups that had to plan (or failed to)
-  int64_t invalidations = 0; // cache flushes triggered by mutations
+  int64_t invalidations = 0; // mutations that evicted at least one plan
   int64_t entries = 0;       // currently cached plans
 
   std::string ToString() const;
@@ -75,6 +82,8 @@ class TemporalDB {
         catalog_(std::move(other.catalog_)),
         period_tables_(std::move(other.period_tables_)),
         catalog_generation_(other.catalog_generation_),
+        table_versions_(std::move(other.table_versions_)),
+        columnar_storage_(other.columnar_storage_),
         plan_cache_enabled_(other.plan_cache_enabled_),
         plan_cache_(std::move(other.plan_cache_)),
         cache_stats_(other.cache_stats_) {}
@@ -179,6 +188,15 @@ class TemporalDB {
   PlanCacheStats plan_cache_stats() const;
   void set_plan_cache_enabled(bool enabled);
 
+  /// Columnar table storage (on by default): writers re-encode each
+  /// mutated table copy as typed columns before publishing, so scans
+  /// and the vectorized kernels read contiguous arrays.  Turning it off
+  /// keeps subsequently published tables in row storage (ablation /
+  /// differential testing).  Not synchronized: configure before sharing
+  /// the instance across threads.
+  void set_columnar_storage(bool enabled) { columnar_storage_ = enabled; }
+  bool columnar_storage() const { return columnar_storage_; }
+
  private:
   /// An immutable view of the catalog pinned by one read operation: the
   /// relation-handle map (shares table storage with the live catalog),
@@ -188,6 +206,9 @@ class TemporalDB {
     Catalog catalog;
     std::map<std::string, sql::PeriodTableInfo> period_tables;
     uint64_t generation = 0;
+    // Per-table publication versions (the generation at which each
+    // table last changed) — what plan-cache hits are validated against.
+    std::map<std::string, uint64_t> table_versions;
   };
   Snapshot PinSnapshot() const;
 
@@ -214,8 +235,14 @@ class TemporalDB {
   Result<PlanPtr> PlanForSnapshot(const std::string& sql,
                                   const RewriteOptions& options,
                                   const Snapshot& snap) const;
-  /// Flushes cached plans after a successful catalog mutation.
+  /// Flushes every cached plan (table creation, cache disable).
   void InvalidatePlanCache();
+  /// Evicts only the cached plans whose base-table set contains
+  /// `table` (Insert / InsertRows / PutPeriodTable).  Plans over other
+  /// tables stay hot; the per-table version check at serve time makes
+  /// eviction purely hygienic, so a racing in-flight planner is
+  /// harmless.
+  void InvalidatePlanCacheForTable(const std::string& table);
 
   TimeDomain domain_;
   RewriteOptions options_;
@@ -235,18 +262,28 @@ class TemporalDB {
   // Bumped under the exclusive lock on every publication; a pinned
   // generation therefore names one exact catalog state.
   uint64_t catalog_generation_ = 0;
+  // table name -> generation at which that table was last published.
+  // Guarded by catalog_mu_ like the catalog itself.
+  std::map<std::string, uint64_t> table_versions_;
+  // See set_columnar_storage().
+  bool columnar_storage_ = true;
 
   // Bound-plan cache, keyed by (SQL text, rewrite options).  Mutable:
   // Query()/Plan() are logically const; the cache is an optimization.
-  // All cache state is guarded by plan_cache_mu_.  Entries are tagged
-  // with the catalog generation their plan was built against and only
-  // served to queries pinned at the same generation — correctness does
-  // not depend on invalidation racing well with in-flight planners.
+  // All cache state is guarded by plan_cache_mu_.  Entries record the
+  // per-table versions their plan was bound against and are only served
+  // to queries whose snapshot matches every one of them — correctness
+  // does not depend on invalidation racing well with in-flight
+  // planners.
   // The cache is bounded (it restarts empty on overflow), so
   // unboundedly many distinct statements cannot grow memory forever.
   struct CachedPlan {
     PlanPtr plan;
-    uint64_t generation = 0;
+    // Base tables the plan scans, each with the version it was bound
+    // against.  A hit requires every listed table to still be at its
+    // recorded version in the query's snapshot; a plan scanning no
+    // table (constant-only) is valid forever.
+    std::vector<std::pair<std::string, uint64_t>> table_versions;
   };
   mutable std::mutex plan_cache_mu_;
   bool plan_cache_enabled_ = true;

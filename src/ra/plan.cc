@@ -1,6 +1,8 @@
 #include "ra/plan.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/status.h"
 #include "common/str_util.h"
@@ -383,6 +385,29 @@ int CountKind(const PlanPtr& plan, PlanKind kind) {
   if (plan == nullptr) return 0;
   return (plan->kind == kind ? 1 : 0) + CountKind(plan->left, kind) +
          CountKind(plan->right, kind);
+}
+
+namespace {
+
+void CollectScanTablesImpl(const Plan* node,
+                           std::unordered_set<const Plan*>* visited,
+                           std::vector<std::string>* out) {
+  if (node == nullptr || !visited->insert(node).second) return;
+  if (node->kind == PlanKind::kScan &&
+      std::find(out->begin(), out->end(), node->table) == out->end()) {
+    out->push_back(node->table);
+  }
+  CollectScanTablesImpl(node->left.get(), visited, out);
+  CollectScanTablesImpl(node->right.get(), visited, out);
+}
+
+}  // namespace
+
+std::vector<std::string> CollectScanTables(const PlanPtr& plan) {
+  std::vector<std::string> out;
+  std::unordered_set<const Plan*> visited;
+  CollectScanTablesImpl(plan.get(), &visited, &out);
+  return out;
 }
 
 namespace {

@@ -165,6 +165,12 @@ bool ContainsKind(const PlanPtr& plan, PlanKind kind);
 /// Number of nodes of the given kind in the subtree.
 int CountKind(const PlanPtr& plan, PlanKind kind);
 
+/// Deduplicated names of every base table the plan scans (kScan
+/// nodes), in first-visit order.  DAG-aware: shared subplans are
+/// visited once.  The middleware records this set per cached plan so a
+/// mutation of table T evicts only the plans that read T.
+std::vector<std::string> CollectScanTables(const PlanPtr& plan);
+
 // --- Timeslice pushdown legality (consumed by PushDownTimeslice in
 // rewrite/rewriter.h).  Both judge a single parent/child edge of an
 // encoded plan, whose trailing two columns are the interval endpoints. -------

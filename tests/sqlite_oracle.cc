@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/str_util.h"
 #include "common/value.h"
+#include "engine/column.h"
 
 namespace periodk {
 
@@ -114,6 +115,41 @@ void BindValue(sqlite3* db, sqlite3_stmt* stmt, int index, const Value& v) {
   }
 }
 
+/// Columnar bind: straight from the typed arrays / dictionary, no Value
+/// round trip and no row-view materialization of the loaded relation.
+void BindColumnCell(sqlite3* db, sqlite3_stmt* stmt, int index,
+                    const ColumnData& col, size_t row) {
+  int rc = SQLITE_OK;
+  if (col.IsNull(row)) {
+    rc = sqlite3_bind_null(stmt, index);
+  } else {
+    switch (col.tag()) {
+      case ColumnTag::kInt:
+        rc = sqlite3_bind_int64(stmt, index, col.ints()[row]);
+        break;
+      case ColumnTag::kDouble:
+        rc = sqlite3_bind_double(stmt, index, col.doubles()[row]);
+        break;
+      case ColumnTag::kBool:
+        rc = sqlite3_bind_int64(stmt, index, col.bools()[row] != 0 ? 1 : 0);
+        break;
+      case ColumnTag::kString: {
+        // SQLITE_STATIC is safe: the dictionary outlives the statement.
+        const std::string& s = col.dict()->At(col.codes()[row]);
+        rc = sqlite3_bind_text(stmt, index, s.c_str(),
+                               static_cast<int>(s.size()), SQLITE_STATIC);
+        break;
+      }
+      case ColumnTag::kMixed:
+        BindValue(db, stmt, index, col.mixed()[row]);
+        return;
+    }
+  }
+  if (rc != SQLITE_OK) {
+    throw EngineError(StrCat("sqlite bind failed: ", sqlite3_errmsg(db)));
+  }
+}
+
 Value NormalizeValue(const Value& v) {
   // The engine's booleans read back from SQL as integers.
   if (v.type() == ValueType::kBool) return Value::Int(v.AsBool() ? 1 : 0);
@@ -181,15 +217,31 @@ void SqliteOracle::LoadTable(const std::string& name,
   Stmt insert(db_, StrCat("INSERT INTO ", QuoteIdent(name), " VALUES (",
                           placeholders, ");"));
   Exec(db_, "BEGIN;");
-  for (const Row& row : relation.rows()) {
-    for (size_t i = 0; i < arity; ++i) {
-      BindValue(db_, insert.get(), static_cast<int>(i) + 1, row[i]);
+  if (relation.is_columnar()) {
+    const std::vector<ColumnData>& cols = relation.columns();
+    for (size_t r = 0; r < relation.size(); ++r) {
+      for (size_t i = 0; i < arity; ++i) {
+        BindColumnCell(db_, insert.get(), static_cast<int>(i) + 1, cols[i], r);
+      }
+      if (sqlite3_step(insert.get()) != SQLITE_DONE) {
+        throw EngineError(
+            StrCat("sqlite insert failed: ", sqlite3_errmsg(db_)));
+      }
+      sqlite3_reset(insert.get());
+      sqlite3_clear_bindings(insert.get());
     }
-    if (sqlite3_step(insert.get()) != SQLITE_DONE) {
-      throw EngineError(StrCat("sqlite insert failed: ", sqlite3_errmsg(db_)));
+  } else {
+    for (const Row& row : relation.rows()) {
+      for (size_t i = 0; i < arity; ++i) {
+        BindValue(db_, insert.get(), static_cast<int>(i) + 1, row[i]);
+      }
+      if (sqlite3_step(insert.get()) != SQLITE_DONE) {
+        throw EngineError(
+            StrCat("sqlite insert failed: ", sqlite3_errmsg(db_)));
+      }
+      sqlite3_reset(insert.get());
+      sqlite3_clear_bindings(insert.get());
     }
-    sqlite3_reset(insert.get());
-    sqlite3_clear_bindings(insert.get());
   }
   Exec(db_, "COMMIT;");
 }

@@ -1,0 +1,311 @@
+// Columnar relation storage (engine/column.h, engine/relation.h;
+// docs/architecture.md §9): encode-time tag selection, sorted string
+// dictionaries, validity bitmaps, the lazily materialized row view --
+// and whole-plan equivalence: the vectorized kernel fast paths must
+// produce row-for-row identical output to the row storage path at
+// num_threads=1, and bag-equal output under parallel execution.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "engine/column.h"
+#include "engine/executor.h"
+#include "engine/relation.h"
+#include "engine/schema.h"
+#include "rewrite/rewriter.h"
+#include "tests/random_query.h"
+
+namespace periodk {
+namespace {
+
+// --- ColumnData ------------------------------------------------------------
+
+TEST(ColumnDataTest, EncodePicksNarrowestTag) {
+  std::vector<Row> rows = {
+      {Value::Int(1), Value::Double(1.5), Value::Bool(true),
+       Value::String("x"), Value::Int(1)},
+      {Value::Int(2), Value::Double(2.5), Value::Bool(false),
+       Value::String("y"), Value::String("mixed")},
+  };
+  EXPECT_EQ(ColumnData::Encode(rows, 0).tag(), ColumnTag::kInt);
+  EXPECT_EQ(ColumnData::Encode(rows, 1).tag(), ColumnTag::kDouble);
+  EXPECT_EQ(ColumnData::Encode(rows, 2).tag(), ColumnTag::kBool);
+  EXPECT_EQ(ColumnData::Encode(rows, 3).tag(), ColumnTag::kString);
+  EXPECT_EQ(ColumnData::Encode(rows, 4).tag(), ColumnTag::kMixed);
+}
+
+TEST(ColumnDataTest, StringDictionaryIsSortedAndSharedByGather) {
+  std::vector<Row> rows = {{Value::String("beta")},
+                           {Value::String("alpha")},
+                           {Value::String("beta")}};
+  ColumnData col = ColumnData::Encode(rows, 0);
+  ASSERT_EQ(col.tag(), ColumnTag::kString);
+  // Sorted, duplicate-free dictionary: code order == string order.
+  ASSERT_EQ(col.dict()->size(), 2u);
+  EXPECT_EQ(col.dict()->At(0), "alpha");
+  EXPECT_EQ(col.dict()->At(1), "beta");
+  EXPECT_EQ(col.codes()[0], 1u);
+  EXPECT_EQ(col.codes()[1], 0u);
+  EXPECT_EQ(col.codes()[2], 1u);
+  // Gather reuses the source dictionary by pointer.
+  ColumnData picked = ColumnData::Gather(col, {2, 0});
+  EXPECT_EQ(picked.dict().get(), col.dict().get());
+  EXPECT_EQ(picked.Get(0), Value::String("beta"));
+}
+
+TEST(ColumnDataTest, ValidityBitmapTracksNulls) {
+  std::vector<Row> rows = {{Value::Int(7)}, {Value::Null()}, {Value::Int(9)}};
+  ColumnData col = ColumnData::Encode(rows, 0);
+  EXPECT_EQ(col.tag(), ColumnTag::kInt);
+  EXPECT_EQ(col.null_count(), 1u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.Get(1), Value::Null());
+  EXPECT_EQ(col.Get(2), Value::Int(9));
+  // All-null columns have no representable type; they encode as kInt
+  // with an all-invalid bitmap.
+  std::vector<Row> all_null = {{Value::Null()}, {Value::Null()}};
+  ColumnData nulls = ColumnData::Encode(all_null, 0);
+  EXPECT_EQ(nulls.tag(), ColumnTag::kInt);
+  EXPECT_EQ(nulls.null_count(), 2u);
+}
+
+TEST(ColumnDataTest, PackedKeysMatchValueEquality) {
+  // -0.0 and +0.0 compare equal under Value::Compare, so their packed
+  // key words must collide; NaN breaks the order, so the column is not
+  // fast-keyable at all.
+  std::vector<Row> rows = {{Value::Double(-0.0)}, {Value::Double(0.0)}};
+  std::vector<ColumnData> cols = {ColumnData::Encode(rows, 0)};
+  ASSERT_TRUE(FastKeyable(cols[0]));
+  std::vector<uint64_t> keys;
+  ASSERT_TRUE(BuildPackedKeys(cols, {0}, rows.size(), &keys));
+  ASSERT_EQ(keys.size(), 4u);  // 2 rows x (1 key word + null word)
+  EXPECT_EQ(keys[0], keys[2]);
+  std::vector<Row> nan_rows = {{Value::Double(0.0 / 0.0)}};
+  EXPECT_FALSE(FastKeyable(ColumnData::Encode(nan_rows, 0)));
+}
+
+// --- Relation: dual storage ------------------------------------------------
+
+Relation MixedRelation() {
+  Relation rel(Schema::FromNames({"i", "s", "d"}));
+  rel.AddRow({Value::Int(1), Value::String("bb"), Value::Double(0.5)});
+  rel.AddRow({Value::Null(), Value::String("aa"), Value::Null()});
+  rel.AddRow({Value::Int(3), Value::Null(), Value::Double(-1.0)});
+  rel.AddRow({Value::Int(1), Value::String("bb"), Value::Double(0.5)});
+  return rel;
+}
+
+TEST(RelationColumnarTest, RowViewRoundTripsInOrder) {
+  Relation rel = MixedRelation();
+  std::vector<Row> original = rel.rows();
+  rel.ToColumnar();
+  ASSERT_TRUE(rel.is_columnar());
+  ASSERT_EQ(rel.size(), original.size());
+  const std::vector<Row>& view = rel.rows();  // lazy materialization
+  ASSERT_EQ(view.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(CompareRows(view[i], original[i]), 0) << "row " << i;
+  }
+}
+
+TEST(RelationColumnarTest, MutationDecaysToRowStorage) {
+  Relation rel = MixedRelation();
+  rel.ToColumnar();
+  rel.AddRow({Value::Int(9), Value::String("zz"), Value::Double(9.0)});
+  EXPECT_FALSE(rel.is_columnar());
+  EXPECT_EQ(rel.size(), 5u);
+  EXPECT_EQ(rel.rows().back()[0], Value::Int(9));
+}
+
+TEST(RelationColumnarTest, ConcurrentRowViewMaterializationIsSafe) {
+  // Shared base tables are read by many query threads; the first rows()
+  // call on each copy must build the view exactly once, race-free.
+  Relation rel = MixedRelation();
+  rel.ToColumnar();
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&rel, &mismatches] {
+      const std::vector<Row>& view = rel.rows();
+      if (view.size() != 4 || view[1][1] != Value::String("aa")) {
+        ++mismatches;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --- Schema name lookup (the lazily built index) ---------------------------
+
+TEST(SchemaTest, DuplicateNameShadowingUnchanged) {
+  Schema schema({Column("r", "a"), Column("s", "a"), Column("", "b")});
+  // Two unqualified matches: ambiguous, exactly like the linear scan.
+  EXPECT_EQ(schema.Find("", "a"), -2);
+  // A qualifier narrows to the unique match; matching is
+  // case-insensitive on both parts.
+  EXPECT_EQ(schema.Find("r", "a"), 0);
+  EXPECT_EQ(schema.Find("S", "A"), 1);
+  EXPECT_EQ(schema.Find("", "b"), 2);
+  EXPECT_EQ(schema.Find("", "missing"), -1);
+  EXPECT_EQ(schema.Find("t", "a"), -1);
+  // Append invalidates the built index: a new duplicate turns the
+  // previously unique name ambiguous.
+  schema.Append(Column("t", "b"));
+  EXPECT_EQ(schema.Find("", "b"), -2);
+  EXPECT_EQ(schema.Find("t", "b"), 3);
+}
+
+// --- Columnar vs row-path equivalence --------------------------------------
+
+/// nullopt when `a` and `b` hold identical rows in identical order.
+std::optional<std::string> ExactDiff(const Relation& a, const Relation& b) {
+  if (a.size() != b.size()) {
+    return StrCat("row count ", a.size(), " vs ", b.size());
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (CompareRows(a.rows()[i], b.rows()[i]) != 0) {
+      return StrCat("row ", i, ": ", RowToString(a.rows()[i]), " vs ",
+                    RowToString(b.rows()[i]));
+    }
+  }
+  return std::nullopt;
+}
+
+Catalog Columnarized(const Catalog& catalog) {
+  Catalog out = catalog;
+  for (const std::string& name : out.TableNames()) {
+    Relation rel = out.Get(name);
+    rel.ToColumnar();
+    out.Put(name, std::move(rel));
+  }
+  return out;
+}
+
+TEST(ColumnarEquivalenceTest, StringKeyJoinTranslatesDictionaries) {
+  // The two inputs dictionary-encode different string sets, so equal
+  // strings carry *different* codes; the join fast lane must translate
+  // right codes into the left dictionary space instead of comparing
+  // codes raw.  "zeta" exists only on the right: never matches.
+  Schema schema = Schema::FromNames({"k", "v", "a_begin", "a_end"});
+  Relation l(schema);
+  l.AddRow({Value::String("ant"), Value::Int(1), Value::Int(0),
+            Value::Int(10)});
+  l.AddRow({Value::String("bee"), Value::Int(2), Value::Int(2),
+            Value::Int(6)});
+  l.AddRow({Value::Null(), Value::Int(3), Value::Int(0), Value::Int(16)});
+  Relation r(schema);
+  r.AddRow({Value::String("bee"), Value::Int(10), Value::Int(4),
+            Value::Int(9)});
+  r.AddRow({Value::String("zeta"), Value::Int(20), Value::Int(0),
+            Value::Int(16)});
+  r.AddRow({Value::String("ant"), Value::Int(30), Value::Int(9),
+            Value::Int(12)});
+  Catalog rows_cat;
+  rows_cat.Put("l", std::move(l));
+  rows_cat.Put("r", std::move(r));
+  Catalog cols_cat = Columnarized(rows_cat);
+
+  ExprPtr pred = And(Eq(Col(0), Col(4)),
+                     And(Lt(Col(2), Col(7)), Lt(Col(6), Col(3))));
+  PlanPtr plan = MakeJoin(MakeScan("l", schema), MakeScan("r", schema),
+                          std::move(pred));
+  Relation by_rows = Execute(plan, rows_cat, ExecOptions{});
+  Relation by_cols = Execute(plan, cols_cat, ExecOptions{});
+  EXPECT_EQ(by_cols.size(), 2u);
+  auto diff = ExactDiff(by_cols, by_rows);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(ColumnarEquivalenceTest, StringGroupedTemporalOperatorsMatch) {
+  Schema schema = Schema::FromNames({"g", "a_begin", "a_end"});
+  Relation rel(schema);
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const char* names[] = {"x", "y", "z"};
+    TimePoint b = rng.Range(0, 30);
+    rel.AddRow({rng.Chance(0.1) ? Value::Null()
+                                : Value::String(names[rng.Uniform(3)]),
+                Value::Int(b), Value::Int(b + 1 + rng.Range(0, 6))});
+  }
+  Catalog rows_cat;
+  rows_cat.Put("t", std::move(rel));
+  Catalog cols_cat = Columnarized(rows_cat);
+  PlanPtr scan = MakeScan("t", schema);
+  std::vector<PlanPtr> plans = {
+      MakeCoalesce(scan),
+      MakeSplitAggregate(scan, {0},
+                         {AggExpr{AggFunc::kCountStar, nullptr, "cnt"}},
+                         /*gap_rows=*/false, TimeDomain{0, 40}),
+  };
+  for (const PlanPtr& plan : plans) {
+    Relation by_rows = Execute(plan, rows_cat, ExecOptions{});
+    Relation by_cols = Execute(plan, cols_cat, ExecOptions{});
+    auto diff = ExactDiff(by_cols, by_rows);
+    EXPECT_FALSE(diff.has_value()) << PlanKindName(plan->kind) << ": "
+                                   << *diff;
+  }
+}
+
+TEST(ColumnarEquivalenceTest, TwoHundredRandomPlansMatchRowPath) {
+  // The satellite property test: 200 randomized rewritten plans,
+  // NULL-heavy data and duplicate-amplifying query shapes, executed
+  // over row and columnar storage of the same base tables.  At
+  // num_threads=1 the outputs must be row-for-row identical (whether a
+  // kernel takes its vectorized lane or falls back); under the chunked
+  // parallel paths they must stay bag-equal.
+  constexpr TimeDomain kDomain{0, 16};
+  for (int seed = 0; seed < 200; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) * 0x9e3779b97f4a7c15ULL + 0xc01a7);
+    Catalog rows_cat = RandomEncodedCatalog(&rng, kDomain, /*max_rows=*/10,
+                                            /*null_chance=*/0.25,
+                                            /*empty_validity_chance=*/0.2);
+    PlanPtr encoded_p = AddRandomPeriodTable(&rng, &rows_cat, kDomain, 10,
+                                             0.25, 0.2);
+    Catalog cols_cat = Columnarized(rows_cat);
+
+    RewriteOptions options;
+    SnapshotSemantics all[] = {SnapshotSemantics::kPeriodK,
+                               SnapshotSemantics::kAlignment,
+                               SnapshotSemantics::kIntervalPreservation,
+                               SnapshotSemantics::kTeradata};
+    options.semantics = all[rng.Uniform(4)];
+    options.hoist_coalesce = rng.Chance(0.5);
+    options.fuse_aggregation = rng.Chance(0.5);
+    options.pre_aggregate = rng.Chance(0.5);
+    options.final_coalesce = rng.Chance(0.7);
+    options.coalesce_impl =
+        rng.Chance(0.5) ? CoalesceImpl::kNative : CoalesceImpl::kWindow;
+
+    RandomQueryConfig qc;
+    qc.null_literal_chance = 0.2;   // NULL-heavy
+    qc.union_dup_chance = 0.35;     // duplicate-amplifying
+    qc.period_scan_chance = 0.25;
+    qc.allow_difference = options.semantics != SnapshotSemantics::kTeradata;
+    RandomQueryGenerator gen(&rng, qc);
+    PlanPtr plan = SnapshotRewriter(kDomain, options, {{"p", encoded_p}})
+                       .Rewrite(gen.Generate(3 + static_cast<int>(
+                                                     rng.Uniform(2))));
+
+    Relation by_rows = Execute(plan, rows_cat, ExecOptions{});
+    Relation by_cols = Execute(plan, cols_cat, ExecOptions{});
+    auto diff = ExactDiff(by_cols, by_rows);
+    ASSERT_FALSE(diff.has_value())
+        << "seed " << seed << ": " << *diff << "\nplan:\n" << plan->ToString();
+
+    ExecOptions parallel;
+    parallel.num_threads = 4;
+    Relation by_cols_mt = Execute(plan, cols_cat, parallel);
+    ASSERT_TRUE(by_cols_mt.BagEquals(by_rows))
+        << "seed " << seed << " (parallel)\nplan:\n" << plan->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace periodk

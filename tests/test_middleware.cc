@@ -316,6 +316,33 @@ TEST(MiddlewareTest, PlanCacheInvalidatedByMutations) {
   EXPECT_EQ(db.plan_cache_stats().entries, 0);
 }
 
+TEST(MiddlewareTest, PlanCacheSurvivesUnrelatedMutations) {
+  TemporalDB db = MakeExampleDB();
+  const char* sql = "SEQ VT (SELECT skill FROM works)";
+  ASSERT_TRUE(db.Prepare(sql).ok());
+  ASSERT_EQ(db.plan_cache_stats().entries, 1);
+  // Mutating a table the cached plan never reads must keep it hot:
+  // cache entries record their base-table set at bind time and only
+  // mutations of those tables evict them.
+  ASSERT_TRUE(db.CreateTable("unrelated", {"x"}).ok());  // full flush
+  ASSERT_TRUE(db.Prepare(sql).ok());
+  PlanCacheStats warm = db.plan_cache_stats();
+  ASSERT_EQ(warm.entries, 1);
+  ASSERT_TRUE(db.Insert("unrelated", {Value::Int(1)}).ok());
+  PlanCacheStats after = db.plan_cache_stats();
+  EXPECT_EQ(after.entries, 1);
+  EXPECT_EQ(after.invalidations, warm.invalidations);
+  auto result = db.Query(sql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(db.plan_cache_stats().hits, warm.hits + 1);
+  // A mutation of the plan's own table still evicts exactly it.
+  ASSERT_TRUE(db.Insert("works", {Value::Int(30), Value::String("Ada"),
+                                  Value::String("SP"), Value::Int(32)})
+                  .ok());
+  EXPECT_EQ(db.plan_cache_stats().entries, 0);
+  EXPECT_EQ(db.plan_cache_stats().invalidations, warm.invalidations + 1);
+}
+
 TEST(MiddlewareTest, PlanCacheKeyedByRewriteOptions) {
   TemporalDB db = MakeExampleDB();
   const char* sql = "SEQ VT (SELECT skill FROM assign EXCEPT ALL "
