@@ -14,22 +14,32 @@
 //   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/example_infrastructure_monitoring
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/rng.h"
 #include "middleware/temporal_db.h"
 
 using namespace periodk;
 
+// The setup statements below cannot fail; Check keeps that claim
+// honest without burying the example in error plumbing.
+static void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    std::abort();
+  }
+}
+
 int main() {
   // One day at minute granularity.
   TimeDomain day{0, 1440};
   TemporalDB db(day);
-  db.CreatePeriodTable("replicas",
-                       {"service", "instance", "vt_begin", "vt_end"},
-                       "vt_begin", "vt_end");
-  db.CreatePeriodTable("reservations",
-                       {"service", "slots", "vt_begin", "vt_end"},
-                       "vt_begin", "vt_end");
+  Check(db.CreatePeriodTable("replicas",
+                             {"service", "instance", "vt_begin", "vt_end"},
+                             "vt_begin", "vt_end"));
+  Check(db.CreatePeriodTable("reservations",
+                             {"service", "slots", "vt_begin", "vt_end"},
+                             "vt_begin", "vt_end"));
 
   // Deterministic synthetic fleet: replicas churn during the day.
   Rng rng(2024);
@@ -44,10 +54,11 @@ int main() {
       while (t < day.tmax - 30) {
         TimePoint up_for = rng.Range(180, 600);
         TimePoint end = std::min<TimePoint>(day.tmax, t + up_for);
-        db.Insert("replicas",
-                  {Value::String(service),
-                   Value::String("i-" + std::to_string(instance_id++)),
-                   Value::Int(t), Value::Int(end)});
+        Check(db.Insert(
+            "replicas",
+            {Value::String(service),
+             Value::String("i-" + std::to_string(instance_id++)),
+             Value::Int(t), Value::Int(end)}));
         t = end + rng.Range(1, 45);  // outage gap
       }
     }
@@ -56,8 +67,8 @@ int main() {
   for (const char* service : services) {
     int slots = service == std::string("api") ? 6 : 4;
     for (int s = 0; s < slots; ++s) {
-      db.Insert("reservations", {Value::String(service), Value::Int(1),
-                                 Value::Int(0), Value::Int(day.tmax)});
+      Check(db.Insert("reservations", {Value::String(service), Value::Int(1),
+                                       Value::Int(0), Value::Int(day.tmax)}));
     }
   }
 

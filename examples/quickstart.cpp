@@ -13,22 +13,35 @@
 //   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/example_quickstart
 #include <cstdio>
+#include <cstdlib>
 
 #include "middleware/temporal_db.h"
 
 using namespace periodk;
+
+// The setup statements below cannot fail; Check keeps that claim
+// honest without burying the example in error plumbing.
+static void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    std::abort();
+  }
+}
 
 int main() {
   // The time domain: the hours of 2018-01-01, as in the paper.
   TemporalDB db(TimeDomain{0, 24});
 
   // Period tables store the validity interval in two integer columns.
-  db.CreatePeriodTable("works", {"name", "skill", "ts", "te"}, "ts", "te");
-  db.CreatePeriodTable("assign", {"mach", "skill", "ts", "te"}, "ts", "te");
+  Check(
+      db.CreatePeriodTable("works", {"name", "skill", "ts", "te"}, "ts", "te"));
+  Check(
+      db.CreatePeriodTable("assign", {"mach", "skill", "ts", "te"}, "ts",
+                           "te"));
 
   auto work = [&](const char* name, const char* skill, int64_t b, int64_t e) {
-    db.Insert("works", {Value::String(name), Value::String(skill),
-                        Value::Int(b), Value::Int(e)});
+    Check(db.Insert("works", {Value::String(name), Value::String(skill),
+                              Value::Int(b), Value::Int(e)}));
   };
   work("Ann", "SP", 3, 10);
   work("Joe", "NS", 8, 16);
@@ -37,8 +50,8 @@ int main() {
 
   auto assign = [&](const char* mach, const char* skill, int64_t b,
                     int64_t e) {
-    db.Insert("assign", {Value::String(mach), Value::String(skill),
-                         Value::Int(b), Value::Int(e)});
+    Check(db.Insert("assign", {Value::String(mach), Value::String(skill),
+                               Value::Int(b), Value::Int(e)}));
   };
   assign("M1", "SP", 3, 12);
   assign("M2", "SP", 6, 14);

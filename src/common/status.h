@@ -30,33 +30,36 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Result of a fallible operation: a code plus a message.  Cheap to copy
-/// in the OK case (empty message).
-class Status {
+/// in the OK case (empty message).  [[nodiscard]] at class level: a
+/// dropped Status is a swallowed error, so every compiler flags the
+/// discard site (tools/periodk_lint.py additionally enforces the
+/// per-declaration markers as documentation).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status BindError(std::string msg) {
+  [[nodiscard]] static Status BindError(std::string msg) {
     return Status(StatusCode::kBindError, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status Unsupported(std::string msg) {
+  [[nodiscard]] static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
@@ -77,8 +80,9 @@ class Status {
 };
 
 /// A value or an error.  Modeled after absl::StatusOr / arrow::Result.
+/// [[nodiscard]] like Status: discarding a Result loses the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): implicit by design.
   Result(T value) : value_(std::move(value)) {}

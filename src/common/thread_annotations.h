@@ -1,0 +1,187 @@
+// Clang Thread Safety Analysis support: annotation macros plus thin
+// annotated wrappers over the standard mutexes.  With clang, building
+// with -Wthread-safety turns the repo's lock discipline (which mutex
+// guards which field, which lock must be held where, lock ordering)
+// into compile-time errors; with other compilers the macros expand to
+// nothing and the wrappers are zero-cost pass-throughs.
+//
+// Policy (enforced by tools/periodk_lint.py, rule `naked-mutex`): all
+// synchronization in src/ goes through these wrappers — a naked
+// std::mutex cannot carry annotations, so it is invisible to the
+// analysis.  See docs/architecture.md §10 for the full static-analysis
+// gate description and the suppression policy.
+//
+// The macro set mirrors the canonical one in the clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed so
+// it cannot collide with a consumer's copy of the same macros.
+#ifndef PERIODK_COMMON_THREAD_ANNOTATIONS_H_
+#define PERIODK_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define PERIODK_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PERIODK_THREAD_ANNOTATION
+#define PERIODK_THREAD_ANNOTATION(x)  // not clang: annotations are comments
+#endif
+
+/// A type that acts as a lock (attached to the wrapper classes below).
+#define PERIODK_CAPABILITY(x) PERIODK_THREAD_ANNOTATION(capability(x))
+/// An RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define PERIODK_SCOPED_CAPABILITY \
+  PERIODK_THREAD_ANNOTATION(scoped_lockable)
+/// Field attribute: reads and writes require holding `x`.
+#define PERIODK_GUARDED_BY(x) PERIODK_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field attribute: dereferences require holding `x`.
+#define PERIODK_PT_GUARDED_BY(x) PERIODK_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Lock-ordering declarations (deadlock detection).
+#define PERIODK_ACQUIRED_BEFORE(...) \
+  PERIODK_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PERIODK_ACQUIRED_AFTER(...) \
+  PERIODK_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Function attribute: the caller must hold the capability (exclusively
+/// / at least shared).
+#define PERIODK_REQUIRES(...) \
+  PERIODK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PERIODK_REQUIRES_SHARED(...) \
+  PERIODK_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// Function attribute: the function acquires / releases the capability.
+#define PERIODK_ACQUIRE(...) \
+  PERIODK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PERIODK_ACQUIRE_SHARED(...) \
+  PERIODK_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define PERIODK_RELEASE(...) \
+  PERIODK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PERIODK_RELEASE_SHARED(...) \
+  PERIODK_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// Release of a capability held in either mode (scoped-guard dtors).
+#define PERIODK_RELEASE_GENERIC(...) \
+  PERIODK_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+/// Function attribute: the caller must NOT hold the capability
+/// (non-reentrancy / deadlock documentation).
+#define PERIODK_EXCLUDES(...) \
+  PERIODK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function attribute: returns a reference to the given capability.
+#define PERIODK_RETURN_CAPABILITY(x) \
+  PERIODK_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: the function body is not analyzed.  Reserved for the
+/// wrapper internals below and for documented unsynchronized accessors;
+/// never allowed on hot-path operator or middleware methods (see the
+/// suppression policy in docs/architecture.md §10).
+#define PERIODK_NO_THREAD_SAFETY_ANALYSIS \
+  PERIODK_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace periodk {
+
+/// std::mutex carrying the `capability` annotation, so fields can be
+/// declared PERIODK_GUARDED_BY(mu_) against it.
+class PERIODK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PERIODK_ACQUIRE() { mu_.lock(); }
+  void Unlock() PERIODK_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex carrying the `capability` annotation: exclusive
+/// (writer) and shared (reader) modes.
+class PERIODK_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() PERIODK_ACQUIRE() { mu_.lock(); }
+  void Unlock() PERIODK_RELEASE() { mu_.unlock(); }
+  void LockShared() PERIODK_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() PERIODK_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock over Mutex (std::lock_guard counterpart).
+class PERIODK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PERIODK_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() PERIODK_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive lock over SharedMutex (writer side).
+class PERIODK_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) PERIODK_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~SharedMutexLock() PERIODK_RELEASE() { mu_.Unlock(); }
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared lock over SharedMutex (reader side).
+class PERIODK_SCOPED_CAPABILITY SharedReaderLock {
+ public:
+  explicit SharedReaderLock(SharedMutex& mu) PERIODK_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  // Generic release: the analysis tracks that this guard holds the
+  // capability in shared mode and releases whatever was acquired.
+  ~SharedReaderLock() PERIODK_RELEASE_GENERIC() { mu_.UnlockShared(); }
+  SharedReaderLock(const SharedReaderLock&) = delete;
+  SharedReaderLock& operator=(const SharedReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with Mutex.  Wait() is annotated
+/// REQUIRES(mu): the analysis checks that callers hold the mutex, and
+/// treats it as held across the call (the internal unlock/relock is
+/// invisible to the analysis, which matches the caller-visible
+/// contract).  No predicate overload on purpose: a predicate lambda
+/// reading GUARDED_BY fields would be analyzed as an unlocked context,
+/// so callers loop explicitly:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) PERIODK_REQUIRES(mu) { cv_.wait(mu.mu_); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any waits on the raw std::mutex directly (it is
+  // BasicLockable), bypassing the annotated Lock/Unlock so the analysis
+  // keeps seeing the capability as held across Wait().
+  std::condition_variable_any cv_;
+};
+
+}  // namespace periodk
+
+#endif  // PERIODK_COMMON_THREAD_ANNOTATIONS_H_

@@ -9,10 +9,10 @@ namespace {
 
 /// Shared completion state of one Run() batch.
 struct BatchState {
-  std::mutex mu;
-  std::condition_variable cv;
-  int64_t remaining = 0;
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar cv;
+  int64_t remaining PERIODK_GUARDED_BY(mu) = 0;
+  std::exception_ptr error PERIODK_GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -32,10 +32,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -43,7 +43,7 @@ bool ThreadPool::TryRunOne(size_t home) {
   std::function<void()> task;
   {
     Queue& own = *queues_[home];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -52,7 +52,7 @@ bool ThreadPool::TryRunOne(size_t home) {
   if (!task) {
     for (size_t off = 1; off < queues_.size() && !task; ++off) {
       Queue& victim = *queues_[(home + off) % queues_.size()];
-      std::lock_guard<std::mutex> lock(victim.mu);
+      MutexLock lock(victim.mu);
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.front());
         victim.tasks.pop_front();
@@ -68,10 +68,12 @@ bool ThreadPool::TryRunOne(size_t home) {
 void ThreadPool::WorkerLoop(size_t id) {
   for (;;) {
     if (TryRunOne(id)) continue;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [&] {
-      return stop_ || pending_.load(std::memory_order_relaxed) > 0;
-    });
+    MutexLock lock(wake_mu_);
+    // Explicit loop instead of a predicate wait: a predicate lambda
+    // would be analyzed outside the lock (see CondVar).
+    while (!stop_ && pending_.load(std::memory_order_relaxed) <= 0) {
+      wake_cv_.Wait(wake_mu_);
+    }
     if (stop_) return;
   }
 }
@@ -93,41 +95,45 @@ void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
     return;
   }
   auto state = std::make_shared<BatchState>();
-  state->remaining = static_cast<int64_t>(tasks.size());
+  {
+    MutexLock lock(state->mu);
+    state->remaining = static_cast<int64_t>(tasks.size());
+  }
   for (size_t i = 0; i < tasks.size(); ++i) {
     auto wrapped = [task = std::move(tasks[i]), state] {
       try {
         task();
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         if (!state->error) state->error = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (--state->remaining == 0) state->cv.notify_all();
+      MutexLock lock(state->mu);
+      if (--state->remaining == 0) state->cv.NotifyAll();
     };
     Queue& q = *queues_[i % queues_.size()];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     q.tasks.push_back(std::move(wrapped));
   }
   pending_.fetch_add(static_cast<int64_t>(tasks.size()),
                      std::memory_order_relaxed);
   {
-    // Lock/unlock pairs the pending_ update with the workers' predicate
+    // Lock/unlock pairs the pending_ update with the workers' wait-loop
     // check so no wakeup is lost between check and wait.
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
 
   // The caller works the batch down alongside the workers, then waits
   // for in-flight tasks it could not claim.
+  std::exception_ptr error;
   for (;;) {
     if (TryRunOne(0)) continue;
-    std::unique_lock<std::mutex> lock(state->mu);
-    if (state->remaining == 0) break;
-    state->cv.wait(lock, [&] { return state->remaining == 0; });
+    MutexLock lock(state->mu);
+    while (state->remaining != 0) state->cv.Wait(state->mu);
+    error = state->error;
     break;
   }
-  if (state->error) std::rethrow_exception(state->error);
+  if (error) std::rethrow_exception(error);
 }
 
 std::vector<std::pair<int64_t, int64_t>> PlanChunks(int num_threads,

@@ -20,15 +20,15 @@
 #define PERIODK_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace periodk {
 
@@ -53,8 +53,8 @@ class ThreadPool {
 
  private:
   struct Queue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks PERIODK_GUARDED_BY(mu);
   };
 
   /// Pops and runs one task: own queue LIFO, then steals FIFO from the
@@ -66,11 +66,11 @@ class ThreadPool {
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
+  Mutex wake_mu_;
+  CondVar wake_cv_;
   // Tasks pushed but not yet claimed; workers sleep while it is zero.
   std::atomic<int64_t> pending_{0};
-  bool stop_ = false;  // guarded by wake_mu_
+  bool stop_ PERIODK_GUARDED_BY(wake_mu_) = false;
 };
 
 /// Creates the pool on first use: a query whose operators all stay

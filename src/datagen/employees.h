@@ -30,7 +30,8 @@ struct EmployeesConfig {
 ///   titles(emp_no, title, vt_begin, vt_end)
 ///   dept_emp(emp_no, dept_no, vt_begin, vt_end)
 ///   dept_manager(dept_no, emp_no, vt_begin, vt_end)
-Status LoadEmployees(TemporalDB* db, const EmployeesConfig& config);
+[[nodiscard]] Status LoadEmployees(TemporalDB* db,
+                                   const EmployeesConfig& config);
 
 }  // namespace periodk
 

@@ -27,7 +27,7 @@ struct TpcBihConfig {
 
 /// Creates and fills: region, nation, customer, supplier, part,
 /// partsupp, orders, lineitem (all period tables on vt_begin/vt_end).
-Status LoadTpcBih(TemporalDB* db, const TpcBihConfig& config);
+[[nodiscard]] Status LoadTpcBih(TemporalDB* db, const TpcBihConfig& config);
 
 }  // namespace periodk
 

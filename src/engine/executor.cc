@@ -153,6 +153,7 @@ Relation ExecJoin(const Plan& plan, const Relation& left,
   return NestedLoopJoin(plan, left, right);
 }
 
+// periodk-lint: allow(relation-by-value): left's rows are adopted
 Relation ExecUnionAll(const Plan& plan, Relation left, const Relation& right) {
   Relation out(plan.schema, std::move(left.mutable_rows()));
   out.Reserve(out.size() + right.size());
@@ -160,6 +161,7 @@ Relation ExecUnionAll(const Plan& plan, Relation left, const Relation& right) {
   return out;
 }
 
+// periodk-lint: allow(relation-by-value): left is consumed in place
 Relation ExecExceptAll(const Plan& plan, Relation left,
                        const Relation& right) {
   // Bag difference: each right row cancels one left duplicate.
@@ -178,6 +180,7 @@ Relation ExecExceptAll(const Plan& plan, Relation left,
   return out;
 }
 
+// periodk-lint: allow(relation-by-value): left is consumed in place
 Relation ExecAntiJoin(const Plan& plan, Relation left, const Relation& right) {
   std::unordered_map<Row, bool, RowHash, RowEq> present;
   present.reserve(right.size());
@@ -211,6 +214,7 @@ void AccumulateGroups(const Plan& plan, const Relation& input, int64_t begin,
   // plain column references skip the row view entirely; when every key
   // column is additionally fast-keyable, grouping runs on packed uint64
   // key words (dictionary codes for strings) instead of hashing Values.
+  // periodk-lint: columnar-lane-begin(group-accumulate)
   if (input.is_columnar()) {
     std::vector<int> key_cols;
     std::vector<int> agg_cols;
@@ -294,6 +298,7 @@ void AccumulateGroups(const Plan& plan, const Relation& input, int64_t begin,
       return;
     }
   }
+  // periodk-lint: columnar-lane-end(group-accumulate)
   std::unordered_map<Row, size_t, RowHash, RowEq> gid_of;
   const std::vector<Row>& rows = input.rows();
   for (int64_t i = begin; i < end; ++i) {
@@ -386,6 +391,7 @@ Relation ExecAggregate(const Plan& plan, const Relation& input,
   return out;
 }
 
+// periodk-lint: allow(relation-by-value): input is consumed in place
 Relation ExecDistinct(const Plan& plan, Relation input) {
   std::unordered_map<Row, bool, RowHash, RowEq> seen;
   seen.reserve(input.size());
@@ -397,6 +403,7 @@ Relation ExecDistinct(const Plan& plan, Relation input) {
   return out;
 }
 
+// periodk-lint: allow(relation-by-value): input is sorted in place
 Relation ExecSort(const Plan& plan, Relation input) {
   std::stable_sort(
       input.mutable_rows().begin(), input.mutable_rows().end(),
@@ -464,6 +471,7 @@ class ExecutionContext {
   }
 
   /// Wraps a freshly computed intermediate in a uniquely-owned handle.
+  // periodk-lint: allow(relation-by-value): ownership sink, callers move
   RelHandle Own(Relation relation) {
     if (stats_ != nullptr) {
       stats_->rows_materialized += static_cast<int64_t>(relation.size());

@@ -42,6 +42,7 @@ class TimelineIndex;
 
 class Catalog {
  public:
+  // periodk-lint: allow(relation-by-value): ownership sink, callers move
   void Put(const std::string& name, Relation relation) {
     tables_.insert_or_assign(
         name, std::make_shared<const Relation>(std::move(relation)));

@@ -283,6 +283,7 @@ bool BuildJoinKeys(const Relation& left, const Relation& right,
   return true;
 }
 
+// periodk-lint: columnar-lane-begin(overlap-join)
 bool TryColumnarOverlapJoin(const Plan& plan, const Relation& left,
                             const Relation& right, const OpContext& ctx,
                             const JoinCandidates& candidates,
@@ -390,6 +391,7 @@ bool TryColumnarOverlapJoin(const Plan& plan, const Relation& left,
   *result = Relation::FromColumns(plan.schema, std::move(cols), pairs.size());
   return true;
 }
+// periodk-lint: columnar-lane-end(overlap-join)
 
 }  // namespace
 

@@ -100,7 +100,7 @@ void Relation::ToColumnar() {
 }
 
 void Relation::MaterializeRows() const {
-  std::lock_guard<std::mutex> lock(rows_mu_);
+  MutexLock lock(rows_mu_);
   if (rows_ready_.load(std::memory_order_relaxed)) return;
   std::vector<Row> rows;
   rows.reserve(num_rows_);

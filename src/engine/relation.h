@@ -16,10 +16,10 @@
 #define PERIODK_ENGINE_RELATION_H_
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/value.h"
 #include "engine/column.h"
 #include "engine/schema.h"
@@ -39,8 +39,8 @@ class Relation {
   /// column must have exactly `num_rows` entries; `num_rows` is
   /// explicit so zero-column relations (global aggregates) still carry
   /// a row count.
-  static Relation FromColumns(Schema schema, std::vector<ColumnData> columns,
-                              size_t num_rows);
+  [[nodiscard]] static Relation FromColumns(
+      Schema schema, std::vector<ColumnData> columns, size_t num_rows);
 
   // Copyable and movable despite the view-cache synchronization
   // members.  Copying from a shared columnar relation is safe while
@@ -98,7 +98,7 @@ class Relation {
   void SortRows();
 
   /// Bag equality: same schema arity and same multiset of rows.
-  bool BagEquals(const Relation& other) const;
+  [[nodiscard]] bool BagEquals(const Relation& other) const;
 
   /// Tabular rendering of up to `limit` rows (0 = all), sorted.
   std::string ToString(size_t limit = 0) const;
@@ -119,9 +119,11 @@ class Relation {
   // False only for a columnar relation whose row view has not been
   // materialized yet.  acquire/release pairs with MaterializeRows so
   // concurrent readers of a shared base table never see a half-built
-  // view.
+  // view.  rows_ is deliberately NOT GUARDED_BY(rows_mu_): readers
+  // access the published view lock-free after the rows_ready_ acquire
+  // load; the mutex only serializes the one-time materialization.
   mutable std::atomic<bool> rows_ready_{true};
-  mutable std::mutex rows_mu_;
+  mutable Mutex rows_mu_;
 };
 
 }  // namespace periodk

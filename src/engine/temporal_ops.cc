@@ -97,6 +97,7 @@ struct CoalesceGroups {
 // raw endpoint arrays.  Requires the endpoint columns to be pure
 // non-null int (anything else must throw through TimeOf on the row
 // path) and the key columns to be FastKeyable.
+// periodk-lint: columnar-lane-begin(coalesce-groups)
 bool TryColumnarCoalesceGroups(const Relation& input, size_t nattr,
                                CoalesceGroups* g) {
   if (!input.is_columnar()) return false;
@@ -125,6 +126,7 @@ bool TryColumnarCoalesceGroups(const Relation& input, size_t nattr,
   g->columnar = true;
   return true;
 }
+// periodk-lint: columnar-lane-end(coalesce-groups)
 
 void RowCoalesceGroups(const Relation& input, size_t nattr,
                        CoalesceGroups* g) {
@@ -499,6 +501,7 @@ Relation SplitAggregateRelation(const Relation& input,
   // references (they are in every rewriter-produced plan); falls back
   // whenever the row path could throw (non-int or NULL endpoints) or
   // packed keys cannot represent the grouping exactly.
+  // periodk-lint: columnar-lane-begin(split-aggregate-phase1)
   auto columnar_phase1 = [&]() -> bool {
     if (!input.is_columnar()) return false;
     const std::vector<ColumnData>& cols = input.columns();
@@ -570,6 +573,7 @@ Relation SplitAggregateRelation(const Relation& input,
     }
     return true;
   };
+  // periodk-lint: columnar-lane-end(split-aggregate-phase1)
 
   if (!columnar_phase1()) {
     std::unordered_map<Row, uint32_t, RowHash, RowEq> gid_of;
@@ -727,6 +731,7 @@ Relation TimesliceEncodedAt(const Relation& input, TimePoint t,
   // and gather the kept columns; row order is preserved either way.
   // (Any other endpoint representation must throw through TimeOf, so it
   // takes the row loop.)
+  // periodk-lint: columnar-lane-begin(timeslice)
   if (input.is_columnar()) {
     const ColumnData& bc = input.col(static_cast<size_t>(begin_col));
     const ColumnData& ec = input.col(static_cast<size_t>(end_col));
@@ -748,6 +753,7 @@ Relation TimesliceEncodedAt(const Relation& input, TimePoint t,
                                    alive.size());
     }
   }
+  // periodk-lint: columnar-lane-end(timeslice)
   Relation out(std::move(schema));
   for (const Row& row : input.rows()) {
     TimePoint b = TimeOf(row[static_cast<size_t>(begin_col)]);
@@ -764,6 +770,7 @@ Relation TimesliceEncodedAt(const Relation& input, TimePoint t,
 
 Relation TimesliceEncoded(const Relation& input, TimePoint t) {
   size_t nattr = NonTemporalArity(input, "Timeslice");
+  // periodk-lint: columnar-lane-begin(timeslice-encoded)
   if (input.is_columnar()) {
     const ColumnData& bc = input.col(nattr);
     const ColumnData& ec = input.col(nattr + 1);
@@ -784,6 +791,7 @@ Relation TimesliceEncoded(const Relation& input, TimePoint t) {
                                    std::move(cols), alive.size());
     }
   }
+  // periodk-lint: columnar-lane-end(timeslice-encoded)
   Relation out(input.schema().Prefix(nattr));
   for (const Row& row : input.rows()) {
     TimePoint b = TimeOf(row[nattr]);

@@ -61,6 +61,7 @@ std::shared_ptr<const TimelineIndex> TimelineIndex::Build(
   // row loop.
   const int64_t* fast_b = nullptr;
   const int64_t* fast_e = nullptr;
+  // periodk-lint: columnar-lane-begin(timeline-build)
   if (source->is_columnar()) {
     const ColumnData& bc = source->col(static_cast<size_t>(begin_col));
     const ColumnData& ec = source->col(static_cast<size_t>(end_col));
@@ -84,6 +85,7 @@ std::shared_ptr<const TimelineIndex> TimelineIndex::Build(
       index->events_.push_back(Event{b, row, /*is_end=*/false});
       index->events_.push_back(Event{e, row, /*is_end=*/true});
     }
+    // periodk-lint: columnar-lane-end(timeline-build)
   } else {
     const std::vector<Row>& rows = source->rows();
     index->events_.reserve(rows.size() * 2);
@@ -209,6 +211,7 @@ Relation TimelineIndex::Timeslice(TimePoint t) const {
   std::vector<uint32_t> alive = AliveAt(t);
   // Columnar sources project by gathering the kept columns; `alive` is
   // ascending, so the row order matches the row-projection loop.
+  // periodk-lint: columnar-lane-begin(timeline-timeslice)
   if (source_->is_columnar()) {
     std::vector<ColumnData> cols;
     cols.reserve(keep_cols_.size());
@@ -218,6 +221,7 @@ Relation TimelineIndex::Timeslice(TimePoint t) const {
     }
     return Relation::FromColumns(out_schema_, std::move(cols), alive.size());
   }
+  // periodk-lint: columnar-lane-end(timeline-timeslice)
   Relation out(out_schema_);
   out.Reserve(alive.size());
   const std::vector<Row>& rows = source_->rows();

@@ -38,22 +38,46 @@ std::string PlanCacheStats::ToString() const {
                 invalidations, " invalidations, ", entries, " entries");
 }
 
+TemporalDB::TemporalDB(TemporalDB&& other)
+    : domain_(other.domain_), options_(other.options_) {
+  // Steal the guarded state under other's locks, in the serving path's
+  // order (writer before catalog; plan cache last).  Writes to this
+  // object's own guarded fields need no locks: nothing else can see an
+  // object still under construction.
+  MutexLock writer_lock(other.writer_mu_);
+  SharedMutexLock catalog_lock(other.catalog_mu_);
+  MutexLock cache_lock(other.plan_cache_mu_);
+  catalog_ = std::move(other.catalog_);
+  period_tables_ = std::move(other.period_tables_);
+  catalog_generation_ = other.catalog_generation_;
+  table_versions_ = std::move(other.table_versions_);
+  columnar_storage_ = other.columnar_storage_;
+  plan_cache_enabled_ = other.plan_cache_enabled_;
+  plan_cache_ = std::move(other.plan_cache_);
+  cache_stats_ = other.cache_stats_;
+}
+
 // --- Writers.  All serialize on writer_mu_, build new table state
 // outside the reader lock, and publish with a brief exclusive lock so
 // readers only ever block for a pointer swap. -------------------------------
 
 Status TemporalDB::CreateTable(const std::string& name,
                                const std::vector<std::string>& columns) {
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
-  // Reading catalog state without catalog_mu_ is safe here: only
-  // writers modify it and writer_mu_ serializes them.
-  if (catalog_.Has(name)) {
-    return Status::AlreadyExists(StrCat("table exists: ", name));
+  MutexLock writer_lock(writer_mu_);
+  // writer_mu_ alone would suffice for this read (only writers modify
+  // the catalog and they serialize), but "either of two locks" is not
+  // a provable protocol — the shared lock is contention-free here and
+  // lets the analysis check the read.
+  {
+    SharedReaderLock lock(catalog_mu_);
+    if (catalog_.Has(name)) {
+      return Status::AlreadyExists(StrCat("table exists: ", name));
+    }
   }
   Relation table{Schema::FromNames(columns)};
   if (columnar_storage_) table.ToColumnar();
   {
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    SharedMutexLock lock(catalog_mu_);
     catalog_.Put(name, std::move(table));
     ++catalog_generation_;
     table_versions_[name] = catalog_generation_;
@@ -77,14 +101,17 @@ Status TemporalDB::CreatePeriodTable(const std::string& name,
         StrCat("period columns (", begin_column, ", ", end_column,
                ") must be part of the schema"));
   }
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
-  if (catalog_.Has(name)) {
-    return Status::AlreadyExists(StrCat("table exists: ", name));
+  MutexLock writer_lock(writer_mu_);
+  {
+    SharedReaderLock lock(catalog_mu_);
+    if (catalog_.Has(name)) {
+      return Status::AlreadyExists(StrCat("table exists: ", name));
+    }
   }
   Relation table{std::move(schema)};
   if (columnar_storage_) table.ToColumnar();
   {
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    SharedMutexLock lock(catalog_mu_);
     catalog_.Put(name, std::move(table));
     period_tables_[name] = sql::PeriodTableInfo{begin_column, end_column};
     ++catalog_generation_;
@@ -94,6 +121,7 @@ Status TemporalDB::CreatePeriodTable(const std::string& name,
   return Status::OK();
 }
 
+// periodk-lint: allow(relation-by-value): ownership sink, callers move
 Status TemporalDB::PutPeriodTable(const std::string& name, Relation relation,
                                   const std::string& begin_column,
                                   const std::string& end_column) {
@@ -108,10 +136,10 @@ Status TemporalDB::PutPeriodTable(const std::string& name, Relation relation,
         StrCat("period columns (", begin_column, ", ", end_column,
                ") must be part of the schema"));
   }
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  MutexLock writer_lock(writer_mu_);
   if (columnar_storage_) relation.ToColumnar();
   {
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    SharedMutexLock lock(catalog_mu_);
     catalog_.Put(name, std::move(relation));
     period_tables_[name] = sql::PeriodTableInfo{begin_column, end_column};
     ++catalog_generation_;
@@ -122,11 +150,15 @@ Status TemporalDB::PutPeriodTable(const std::string& name, Relation relation,
 }
 
 Status TemporalDB::Insert(const std::string& table, Row row) {
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
-  if (!catalog_.Has(table)) {
-    return Status::NotFound(StrCat("unknown table: ", table));
+  MutexLock writer_lock(writer_mu_);
+  std::shared_ptr<const Relation> current;
+  {
+    SharedReaderLock lock(catalog_mu_);
+    if (!catalog_.Has(table)) {
+      return Status::NotFound(StrCat("unknown table: ", table));
+    }
+    current = catalog_.GetShared(table);
   }
-  std::shared_ptr<const Relation> current = catalog_.GetShared(table);
   if (row.size() != current->schema().size()) {
     return Status::InvalidArgument(
         StrCat("arity mismatch inserting into ", table, ": got ", row.size(),
@@ -138,7 +170,7 @@ Status TemporalDB::Insert(const std::string& table, Row row) {
   next.AddRow(std::move(row));
   if (columnar_storage_) next.ToColumnar();
   {
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    SharedMutexLock lock(catalog_mu_);
     catalog_.Put(table, std::move(next));
     ++catalog_generation_;
     table_versions_[table] = catalog_generation_;
@@ -149,11 +181,15 @@ Status TemporalDB::Insert(const std::string& table, Row row) {
 
 Status TemporalDB::InsertRows(const std::string& table,
                               std::vector<Row> rows) {
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
-  if (!catalog_.Has(table)) {
-    return Status::NotFound(StrCat("unknown table: ", table));
+  MutexLock writer_lock(writer_mu_);
+  std::shared_ptr<const Relation> current;
+  {
+    SharedReaderLock lock(catalog_mu_);
+    if (!catalog_.Has(table)) {
+      return Status::NotFound(StrCat("unknown table: ", table));
+    }
+    current = catalog_.GetShared(table);
   }
-  std::shared_ptr<const Relation> current = catalog_.GetShared(table);
   // Validate every arity before any row lands: a bulk insert is atomic,
   // so a mid-batch mismatch must not leave the table half-populated.
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -169,7 +205,7 @@ Status TemporalDB::InsertRows(const std::string& table,
   for (Row& row : rows) next.AddRow(std::move(row));
   if (columnar_storage_) next.ToColumnar();
   {
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    SharedMutexLock lock(catalog_mu_);
     catalog_.Put(table, std::move(next));
     ++catalog_generation_;
     table_versions_[table] = catalog_generation_;
@@ -181,14 +217,14 @@ Status TemporalDB::InsertRows(const std::string& table,
 // --- Plan cache. -----------------------------------------------------------
 
 void TemporalDB::InvalidatePlanCache() {
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  MutexLock lock(plan_cache_mu_);
   if (plan_cache_.empty()) return;
   plan_cache_.clear();
   ++cache_stats_.invalidations;
 }
 
 void TemporalDB::InvalidatePlanCacheForTable(const std::string& table) {
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  MutexLock lock(plan_cache_mu_);
   size_t dropped = 0;
   for (auto it = plan_cache_.begin(); it != plan_cache_.end();) {
     bool reads_table = false;
@@ -209,14 +245,14 @@ void TemporalDB::InvalidatePlanCacheForTable(const std::string& table) {
 }
 
 PlanCacheStats TemporalDB::plan_cache_stats() const {
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  MutexLock lock(plan_cache_mu_);
   PlanCacheStats stats = cache_stats_;
   stats.entries = static_cast<int64_t>(plan_cache_.size());
   return stats;
 }
 
 void TemporalDB::set_plan_cache_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  MutexLock lock(plan_cache_mu_);
   plan_cache_enabled_ = enabled;
   // Disabling drops every entry: a bound plan from before the toggle
   // must not resurface after re-enabling (the per-table version tags
@@ -229,7 +265,7 @@ void TemporalDB::set_plan_cache_enabled(bool enabled) {
 // against it. ---------------------------------------------------------------
 
 TemporalDB::Snapshot TemporalDB::PinSnapshot() const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  SharedReaderLock lock(catalog_mu_);
   return Snapshot{catalog_, period_tables_, catalog_generation_,
                   table_versions_};
 }
@@ -251,7 +287,7 @@ std::shared_ptr<const TimelineIndex> TemporalDB::EnsureTimelineIndex(
     // generation tag: only while the catalog still is the exact state
     // the index was built against.  If another reader raced its own
     // build in first, keep that one — the two are interchangeable.
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    SharedMutexLock lock(catalog_mu_);
     if (catalog_generation_ == snap.generation &&
         catalog_.GetIndex(table) == nullptr) {
       catalog_.PutIndex(table, index);
@@ -340,7 +376,7 @@ Result<PlanPtr> TemporalDB::PlanForSnapshot(const std::string& sql,
   const std::string key = PlanCacheKey(sql, options);
   bool use_cache;
   {
-    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    MutexLock lock(plan_cache_mu_);
     use_cache = plan_cache_enabled_;
     if (use_cache) {
       auto it = plan_cache_.find(key);
@@ -383,7 +419,7 @@ Result<PlanPtr> TemporalDB::PlanForSnapshot(const std::string& sql,
       versions.emplace_back(table,
                             tv == snap.table_versions.end() ? 0 : tv->second);
     }
-    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    MutexLock lock(plan_cache_mu_);
     // Re-check the toggle: a disable while we planned means "cache
     // nothing".  The version tags carry the snapshot state this plan is
     // valid for, so an insert racing a catalog mutation is harmless —

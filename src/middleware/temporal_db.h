@@ -45,13 +45,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/executor.h"
 #include "rewrite/rewriter.h"
 #include "sql/binder.h"
@@ -73,20 +72,15 @@ class TemporalDB {
   explicit TemporalDB(TimeDomain domain, RewriteOptions options = {})
       : domain_(domain), options_(options) {}
 
-  /// Movable (the destination gets fresh mutexes); not copyable.  As
-  /// with any mutex-holding type, moving while another thread uses
-  /// `other` is undefined.
-  TemporalDB(TemporalDB&& other) noexcept
-      : domain_(other.domain_),
-        options_(other.options_),
-        catalog_(std::move(other.catalog_)),
-        period_tables_(std::move(other.period_tables_)),
-        catalog_generation_(other.catalog_generation_),
-        table_versions_(std::move(other.table_versions_)),
-        columnar_storage_(other.columnar_storage_),
-        plan_cache_enabled_(other.plan_cache_enabled_),
-        plan_cache_(std::move(other.plan_cache_)),
-        cache_stats_(other.cache_stats_) {}
+  /// Movable (the destination gets fresh mutexes); not copyable.  The
+  /// move takes `other`'s writer, catalog, and plan-cache locks — in
+  /// that order, the same order the serving path acquires them — so a
+  /// move racing concurrent readers or writers of `other` linearizes
+  /// as one big exclusive writer instead of being undefined behavior.
+  /// The thread-safety annotations enforce that the guarded state is
+  /// only moved under those locks.  The moved-from instance is empty
+  /// (no tables, no cached plans) and safe only to destroy or reassign.
+  TemporalDB(TemporalDB&& other);
   TemporalDB& operator=(TemporalDB&&) = delete;
 
   const TimeDomain& domain() const { return domain_; }
@@ -97,35 +91,37 @@ class TemporalDB {
 
   /// Creates an ordinary (non-temporal) table.  AlreadyExists when the
   /// name is taken.  Thread-safe (serializes with other writers).
-  Status CreateTable(const std::string& name,
-                     const std::vector<std::string>& columns);
+  [[nodiscard]] Status CreateTable(const std::string& name,
+                                   const std::vector<std::string>& columns);
 
   /// Creates a period table; `begin_column` / `end_column` must be two
   /// distinct members of `columns` holding integer time points within
   /// the domain (InvalidArgument otherwise; AlreadyExists when the name
   /// is taken).  Thread-safe (serializes with other writers).
-  Status CreatePeriodTable(const std::string& name,
-                           const std::vector<std::string>& columns,
-                           const std::string& begin_column,
-                           const std::string& end_column);
+  [[nodiscard]] Status CreatePeriodTable(
+      const std::string& name, const std::vector<std::string>& columns,
+      const std::string& begin_column, const std::string& end_column);
 
   /// Registers an existing relation as a period table (bulk load);
   /// replaces any previous table of that name atomically.  Readers
   /// pinned to the old snapshot keep the old relation alive.
   /// Thread-safe (serializes with other writers).
-  Status PutPeriodTable(const std::string& name, Relation relation,
-                        const std::string& begin_column,
-                        const std::string& end_column);
+  // periodk-lint: allow(relation-by-value): ownership sink, callers move
+  [[nodiscard]] Status PutPeriodTable(const std::string& name,
+                                      Relation relation,
+                                      const std::string& begin_column,
+                                      const std::string& end_column);
 
   /// Copy-on-write append: readers pinned to the old snapshot keep
   /// seeing the table without the row.  O(table) per call — batch with
   /// InsertRows when loading.  InvalidArgument on arity mismatch,
   /// NotFound for unknown tables.  Thread-safe.
-  Status Insert(const std::string& table, Row row);
+  [[nodiscard]] Status Insert(const std::string& table, Row row);
   /// Bulk insert; atomic: every row's arity is validated before any row
   /// lands, so a failure leaves the table untouched.  O(table + batch)
   /// per call.  Thread-safe.
-  Status InsertRows(const std::string& table, std::vector<Row> rows);
+  [[nodiscard]] Status InsertRows(const std::string& table,
+                                  std::vector<Row> rows);
 
   /// Parses, binds, (for SEQ VT queries) rewrites, and executes against
   /// a pinned catalog snapshot.  Planning is served from the plan cache
@@ -135,32 +131,33 @@ class TemporalDB {
   /// Thread-safe: any number of concurrent Query() calls may race any
   /// writer; each observes one consistent snapshot.  Never throws; all
   /// failures (parse/bind/execution) come back as the Status.
-  Result<Relation> Query(const std::string& sql) const;
-  Result<Relation> Query(const std::string& sql,
-                         const RewriteOptions& options) const;
+  [[nodiscard]] Result<Relation> Query(const std::string& sql) const;
+  [[nodiscard]] Result<Relation> Query(const std::string& sql,
+                                       const RewriteOptions& options) const;
 
   /// The executable plan for a statement (after rewriting), for EXPLAIN.
-  Result<PlanPtr> Plan(const std::string& sql) const;
-  Result<PlanPtr> Plan(const std::string& sql,
-                       const RewriteOptions& options) const;
+  [[nodiscard]] Result<PlanPtr> Plan(const std::string& sql) const;
+  [[nodiscard]] Result<PlanPtr> Plan(const std::string& sql,
+                                     const RewriteOptions& options) const;
 
   /// Plans the statement and warms the plan cache (no execution);
   /// subsequent Query() calls with the same text and options are cache
   /// hits until the next catalog mutation.  Returns a Status for every
   /// failure (unknown table, parse error, ...) — never throws across
   /// the middleware boundary.
-  Result<PlanPtr> Prepare(const std::string& sql) const;
-  Result<PlanPtr> Prepare(const std::string& sql,
-                          const RewriteOptions& options) const;
+  [[nodiscard]] Result<PlanPtr> Prepare(const std::string& sql) const;
+  [[nodiscard]] Result<PlanPtr> Prepare(
+      const std::string& sql, const RewriteOptions& options) const;
 
   /// EXPLAIN: the executable plan rendered as an indented tree; shared
   /// subplans are printed once and tagged `[shared #n]`.
-  Result<std::string> Explain(const std::string& sql) const;
+  [[nodiscard]] Result<std::string> Explain(const std::string& sql) const;
 
   /// EXPLAIN ANALYZE: executes the statement and appends the engine's
   /// execution counters (nodes executed, memo hits, rows materialized,
   /// parallel tasks).
-  Result<std::string> ExplainAnalyze(const std::string& sql) const;
+  [[nodiscard]] Result<std::string> ExplainAnalyze(
+      const std::string& sql) const;
 
   /// tau_T of a period table: its snapshot at time t, with the two
   /// interval columns dropped.  NotFound for unknown tables,
@@ -170,22 +167,28 @@ class TemporalDB {
   /// or the table holds non-integer endpoints, in which case it is the
   /// O(table) scan.  Both paths return identical rows in identical
   /// order.  Thread-safe, like every read entry point.
-  Result<Relation> Timeslice(const std::string& table, TimePoint t) const;
+  [[nodiscard]] Result<Relation> Timeslice(const std::string& table,
+                                           TimePoint t) const;
 
   /// The live catalog.  Unsynchronized direct access for single-threaded
   /// use (tests, benches); references obtained through it are
   /// invalidated by the next mutation of the same table.  Concurrent
   /// readers should go through Query()/Timeslice(), which pin snapshots.
-  const Catalog& catalog() const { return catalog_; }
+  /// Unsynchronized by contract (see the doc comment above), so the
+  /// one legitimate analysis opt-out: taking the reader lock here would
+  /// only pretend to help — the returned reference outlives it.
+  const Catalog& catalog() const PERIODK_NO_THREAD_SAFETY_ANALYSIS {
+    return catalog_;
+  }
   bool IsPeriodTable(const std::string& name) const {
-    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    SharedReaderLock lock(catalog_mu_);
     return period_tables_.count(name) > 0;
   }
 
   /// Plan-cache observability and control.  Disabling the cache (for
   /// ablation/benchmarks) also drops every existing entry, so a plan
   /// bound before the toggle can never be served after re-enabling.
-  PlanCacheStats plan_cache_stats() const;
+  [[nodiscard]] PlanCacheStats plan_cache_stats() const;
   void set_plan_cache_enabled(bool enabled);
 
   /// Columnar table storage (on by default): writers re-encode each
@@ -210,7 +213,7 @@ class TemporalDB {
     // table last changed) — what plan-cache hits are validated against.
     std::map<std::string, uint64_t> table_versions;
   };
-  Snapshot PinSnapshot() const;
+  Snapshot PinSnapshot() const PERIODK_EXCLUDES(catalog_mu_);
 
   /// Lazily builds/publishes the timeline index of `table` over the
   /// endpoint columns (begin_col, end_col), attaching it to the pinned
@@ -222,27 +225,28 @@ class TemporalDB {
   /// exactly (non-integer endpoints) — callers fall back to the scan.
   std::shared_ptr<const TimelineIndex> EnsureTimelineIndex(
       const std::string& table, int begin_col, int end_col,
-      Snapshot& snap) const;
+      Snapshot& snap) const PERIODK_EXCLUDES(catalog_mu_);
   /// Ensures an index for every table the plan timeslices directly over
   /// a scan (the shape PushDownTimeslice produces for AS OF queries).
   void EnsureTimelineIndexes(const PlanPtr& plan, Snapshot& snap) const;
 
-  Result<sql::BoundStatement> BindSql(const std::string& sql,
-                                      const Snapshot& snap) const;
-  Result<PlanPtr> PlanBound(const sql::BoundStatement& bound,
-                            const RewriteOptions& options) const;
+  [[nodiscard]] Result<sql::BoundStatement> BindSql(
+      const std::string& sql, const Snapshot& snap) const;
+  [[nodiscard]] Result<PlanPtr> PlanBound(
+      const sql::BoundStatement& bound, const RewriteOptions& options) const;
   /// Plans against the pinned snapshot, consulting/warming the cache.
-  Result<PlanPtr> PlanForSnapshot(const std::string& sql,
-                                  const RewriteOptions& options,
-                                  const Snapshot& snap) const;
+  [[nodiscard]] Result<PlanPtr> PlanForSnapshot(
+      const std::string& sql, const RewriteOptions& options,
+      const Snapshot& snap) const;
   /// Flushes every cached plan (table creation, cache disable).
-  void InvalidatePlanCache();
+  void InvalidatePlanCache() PERIODK_EXCLUDES(plan_cache_mu_);
   /// Evicts only the cached plans whose base-table set contains
   /// `table` (Insert / InsertRows / PutPeriodTable).  Plans over other
   /// tables stay hot; the per-table version check at serve time makes
   /// eviction purely hygienic, so a racing in-flight planner is
   /// harmless.
-  void InvalidatePlanCacheForTable(const std::string& table);
+  void InvalidatePlanCacheForTable(const std::string& table)
+      PERIODK_EXCLUDES(plan_cache_mu_);
 
   TimeDomain domain_;
   RewriteOptions options_;
@@ -251,20 +255,21 @@ class TemporalDB {
   // against publication (exclusive: pointer swaps only — writers build
   // table copies outside it).  writer_mu_ serializes writers so
   // copy-on-write never loses an update; it is always acquired before
-  // catalog_mu_.
-  mutable std::shared_mutex catalog_mu_;
-  std::mutex writer_mu_;
+  // catalog_mu_ (declared to the analysis via ACQUIRED_BEFORE).
+  mutable SharedMutex catalog_mu_;
+  Mutex writer_mu_ PERIODK_ACQUIRED_BEFORE(catalog_mu_);
   // Mutable for exactly one reason: read entry points lazily attach
   // timeline indexes (a cache over immutable relations, never data)
   // under the exclusive lock — see EnsureTimelineIndex.
-  mutable Catalog catalog_;
-  std::map<std::string, sql::PeriodTableInfo> period_tables_;
+  mutable Catalog catalog_ PERIODK_GUARDED_BY(catalog_mu_);
+  std::map<std::string, sql::PeriodTableInfo> period_tables_
+      PERIODK_GUARDED_BY(catalog_mu_);
   // Bumped under the exclusive lock on every publication; a pinned
   // generation therefore names one exact catalog state.
-  uint64_t catalog_generation_ = 0;
+  uint64_t catalog_generation_ PERIODK_GUARDED_BY(catalog_mu_) = 0;
   // table name -> generation at which that table was last published.
-  // Guarded by catalog_mu_ like the catalog itself.
-  std::map<std::string, uint64_t> table_versions_;
+  std::map<std::string, uint64_t> table_versions_
+      PERIODK_GUARDED_BY(catalog_mu_);
   // See set_columnar_storage().
   bool columnar_storage_ = true;
 
@@ -285,10 +290,11 @@ class TemporalDB {
     // table (constant-only) is valid forever.
     std::vector<std::pair<std::string, uint64_t>> table_versions;
   };
-  mutable std::mutex plan_cache_mu_;
-  bool plan_cache_enabled_ = true;
-  mutable std::unordered_map<std::string, CachedPlan> plan_cache_;
-  mutable PlanCacheStats cache_stats_;
+  mutable Mutex plan_cache_mu_;
+  bool plan_cache_enabled_ PERIODK_GUARDED_BY(plan_cache_mu_) = true;
+  mutable std::unordered_map<std::string, CachedPlan> plan_cache_
+      PERIODK_GUARDED_BY(plan_cache_mu_);
+  mutable PlanCacheStats cache_stats_ PERIODK_GUARDED_BY(plan_cache_mu_);
 };
 
 /// Batches row-at-a-time producers into atomic InsertRows() calls.
@@ -301,7 +307,7 @@ class BulkLoader {
   explicit BulkLoader(TemporalDB* db) : db_(db) {}
   /// Buffers one row; validation happens at Flush() (InsertRows checks
   /// every arity before any row lands).
-  Status Insert(const std::string& table, Row row) {
+  [[nodiscard]] Status Insert(const std::string& table, Row row) {
     pending_[table].push_back(std::move(row));
     return Status::OK();
   }
@@ -310,7 +316,7 @@ class BulkLoader {
   /// whether it lands or fails — so a retrying Flush() never
   /// double-inserts an already-shipped table and never reports success
   /// for rows that were consumed by a failed batch.
-  Status Flush() {
+  [[nodiscard]] Status Flush() {
     while (!pending_.empty()) {
       auto it = pending_.begin();
       std::vector<Row> rows = std::move(it->second);

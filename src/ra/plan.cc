@@ -181,6 +181,7 @@ PlanPtr MakeScan(std::string table, Schema schema) {
   return p;
 }
 
+// periodk-lint: allow(relation-by-value): ownership sink, callers move
 PlanPtr MakeConstant(Relation relation) {
   auto p = NewPlan(PlanKind::kConstant);
   p->schema = relation.schema();

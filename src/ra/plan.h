@@ -121,6 +121,7 @@ class Plan {
 // --- Builders (compute output schemas, validate arities). ------------------
 
 PlanPtr MakeScan(std::string table, Schema schema);
+// periodk-lint: allow(relation-by-value): ownership sink, callers move
 PlanPtr MakeConstant(Relation relation);
 PlanPtr MakeSelect(PlanPtr child, ExprPtr predicate);
 /// Output column i is exprs[i] named columns[i].

@@ -50,7 +50,7 @@ class Binder {
          const std::map<std::string, PeriodTableInfo>* period_tables)
       : catalog_(catalog), period_tables_(period_tables) {}
 
-  Result<BoundStatement> Bind(const Statement& statement) const;
+  [[nodiscard]] Result<BoundStatement> Bind(const Statement& statement) const;
 
  private:
   const Catalog* catalog_;
@@ -59,8 +59,8 @@ class Binder {
 
 /// Resolves ORDER BY items against a result schema.  Integer literals
 /// are 1-based ordinals; column references match by (qualifier,) name.
-Result<std::vector<SortKey>> BindOrderBy(const std::vector<OrderItem>& items,
-                                         const Schema& schema);
+[[nodiscard]] Result<std::vector<SortKey>> BindOrderBy(
+    const std::vector<OrderItem>& items, const Schema& schema);
 
 }  // namespace sql
 }  // namespace periodk

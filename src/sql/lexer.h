@@ -23,7 +23,7 @@ struct Token {
   size_t offset = 0;  // byte offset in the input, for error messages
 };
 
-Result<std::vector<Token>> Tokenize(const std::string& sql);
+[[nodiscard]] Result<std::vector<Token>> Tokenize(const std::string& sql);
 
 }  // namespace sql
 }  // namespace periodk

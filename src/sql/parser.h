@@ -13,7 +13,7 @@ namespace sql {
 /// Parses one statement:
 ///   [SEQ VT (] query [)] [ORDER BY ...]
 /// where query is a UNION ALL / EXCEPT ALL tree of SELECT blocks.
-Result<Statement> Parse(const std::string& sql);
+[[nodiscard]] Result<Statement> Parse(const std::string& sql);
 
 }  // namespace sql
 }  // namespace periodk

@@ -1,0 +1,76 @@
+// Probe for Clang's -Wthread-safety over the annotated wrappers in
+// common/thread_annotations.h.  Compiled twice by CTest with
+// -fsyntax-only -Werror=thread-safety (Clang builds only):
+//
+//   * as is: the guarded accesses below hold the right locks, so the
+//     translation unit must be accepted -- proving the annotations
+//     attach to the wrappers at all;
+//   * with -DPERIODK_SEED_TS_VIOLATION: Touch() reads the guarded
+//     field without the lock, and the test asserts the compiler
+//     REJECTS the unit (WILL_FAIL).  If the analysis were silently
+//     disabled -- a macro gate rotting, a flag falling out of the CI
+//     job -- the seeded violation would compile and the test would
+//     fail, which is the point.
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace periodk {
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    MutexLock lock(mu_);
+    value_ += 1;
+  }
+
+  int64_t Read() const {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+  int64_t Touch() const {
+#ifdef PERIODK_SEED_TS_VIOLATION
+    return value_;  // unguarded read: -Wthread-safety must reject this
+#else
+    MutexLock lock(mu_);
+    return value_;
+#endif
+  }
+
+ private:
+  mutable Mutex mu_;
+  int64_t value_ PERIODK_GUARDED_BY(mu_) = 0;
+};
+
+class SharedCounter {
+ public:
+  void Set(int64_t v) {
+    SharedMutexLock lock(mu_);
+    value_ = v;
+  }
+
+  int64_t Get() const {
+    SharedReaderLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable SharedMutex mu_;
+  int64_t value_ PERIODK_GUARDED_BY(mu_) = 0;
+};
+
+// Odr-use the probes so the definitions are fully analyzed.
+int64_t Drive() {
+  Counter c;
+  c.Increment();
+  SharedCounter s;
+  s.Set(c.Read());
+  return s.Get() + c.Touch();
+}
+
+int64_t sink = Drive();
+
+}  // namespace
+}  // namespace periodk

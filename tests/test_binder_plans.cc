@@ -11,10 +11,14 @@ namespace {
 
 TemporalDB Db() {
   TemporalDB db(TimeDomain{0, 100});
-  db.CreatePeriodTable("emp", {"id", "dept", "sal", "b", "e"}, "b", "e");
-  db.CreatePeriodTable("dept", {"dno", "dname", "b", "e"}, "b", "e");
+  EXPECT_TRUE(
+      db.CreatePeriodTable("emp", {"id", "dept", "sal", "b", "e"}, "b", "e")
+          .ok());
+  EXPECT_TRUE(
+      db.CreatePeriodTable("dept", {"dno", "dname", "b", "e"}, "b", "e").ok());
   // Period columns in the middle: forces the reordering projection.
-  db.CreatePeriodTable("log", {"id", "b", "e", "msg"}, "b", "e");
+  EXPECT_TRUE(
+      db.CreatePeriodTable("log", {"id", "b", "e", "msg"}, "b", "e").ok());
   return db;
 }
 
@@ -55,8 +59,9 @@ TEST(BinderPlanTest, SnapshotScanHidesPeriodColumns) {
 
 TEST(BinderPlanTest, NonTrailingPeriodColumnsGetReordered) {
   TemporalDB db = Db();
-  db.Insert("log", {Value::Int(1), Value::Int(10), Value::Int(20),
-                    Value::String("boot")});
+  ASSERT_TRUE(db.Insert("log", {Value::Int(1), Value::Int(10), Value::Int(20),
+                                Value::String("boot")})
+                  .ok());
   auto result = db.Query("SEQ VT (SELECT msg FROM log)");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_EQ(result->size(), 1u);
@@ -98,10 +103,12 @@ TEST(BinderPlanTest, PlanToStringMentionsEveryOperator) {
 
 TEST(BinderPlanTest, CrossJoinWithoutPredicates) {
   TemporalDB db = Db();
-  db.Insert("emp", {Value::Int(1), Value::String("d1"), Value::Int(10),
-                    Value::Int(0), Value::Int(50)});
-  db.Insert("dept", {Value::String("d1"), Value::String("Dev"),
-                     Value::Int(0), Value::Int(100)});
+  ASSERT_TRUE(db.Insert("emp", {Value::Int(1), Value::String("d1"),
+                                Value::Int(10), Value::Int(0), Value::Int(50)})
+                  .ok());
+  ASSERT_TRUE(db.Insert("dept", {Value::String("d1"), Value::String("Dev"),
+                                 Value::Int(0), Value::Int(100)})
+                  .ok());
   auto result = db.Query("SELECT e.id, d.dname FROM emp e, dept d");
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->size(), 1u);
@@ -115,10 +122,12 @@ TEST(BinderPlanTest, CrossJoinWithoutPredicates) {
 
 TEST(BinderPlanTest, OrderByOrdinalAndName) {
   TemporalDB db = Db();
-  db.Insert("emp", {Value::Int(1), Value::String("d1"), Value::Int(10),
-                    Value::Int(0), Value::Int(50)});
-  db.Insert("emp", {Value::Int(2), Value::String("d2"), Value::Int(30),
-                    Value::Int(0), Value::Int(50)});
+  ASSERT_TRUE(db.Insert("emp", {Value::Int(1), Value::String("d1"),
+                                Value::Int(10), Value::Int(0), Value::Int(50)})
+                  .ok());
+  ASSERT_TRUE(db.Insert("emp", {Value::Int(2), Value::String("d2"),
+                                Value::Int(30), Value::Int(0), Value::Int(50)})
+                  .ok());
   auto by_name = db.Query("SELECT id, sal FROM emp ORDER BY sal DESC");
   ASSERT_TRUE(by_name.ok());
   EXPECT_EQ(by_name->rows()[0][0], Value::Int(2));

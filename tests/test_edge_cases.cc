@@ -131,7 +131,7 @@ TEST(EdgeCaseTest, TemporalColumnsMustBeIntegers) {
 
 TEST(EdgeCaseTest, SnapshotQueryOverEmptyTables) {
   TemporalDB db(TimeDomain{0, 50});
-  db.CreatePeriodTable("t", {"v", "b", "e"}, "b", "e");
+  ASSERT_TRUE(db.CreatePeriodTable("t", {"v", "b", "e"}, "b", "e").ok());
   // Global aggregation over an empty period table: one gap row covering
   // the whole domain with count 0.
   auto result = db.Query("SEQ VT (SELECT count(*) AS c FROM t)");
@@ -148,9 +148,11 @@ TEST(EdgeCaseTest, SnapshotQueryOverEmptyTables) {
 
 TEST(EdgeCaseTest, IntervalsTouchingDomainBounds) {
   TemporalDB db(TimeDomain{0, 10});
-  db.CreatePeriodTable("t", {"v", "b", "e"}, "b", "e");
-  db.Insert("t", {Value::Int(1), Value::Int(0), Value::Int(10)});
-  db.Insert("t", {Value::Int(2), Value::Int(9), Value::Int(10)});
+  ASSERT_TRUE(db.CreatePeriodTable("t", {"v", "b", "e"}, "b", "e").ok());
+  ASSERT_TRUE(
+      db.Insert("t", {Value::Int(1), Value::Int(0), Value::Int(10)}).ok());
+  ASSERT_TRUE(
+      db.Insert("t", {Value::Int(2), Value::Int(9), Value::Int(10)}).ok());
   auto result = db.Query("SEQ VT (SELECT count(*) AS c FROM t)");
   ASSERT_TRUE(result.ok());
   Relation expected = EncodedRelation({"c"},
@@ -161,7 +163,7 @@ TEST(EdgeCaseTest, IntervalsTouchingDomainBounds) {
 
 TEST(EdgeCaseTest, InnerOrderByIsRejected) {
   TemporalDB db(TimeDomain{0, 10});
-  db.CreatePeriodTable("t", {"v", "b", "e"}, "b", "e");
+  ASSERT_TRUE(db.CreatePeriodTable("t", {"v", "b", "e"}, "b", "e").ok());
   // ORDER BY belongs outside the SEQ VT block (paper Sec. 10.1).
   auto result = db.Query("SEQ VT (SELECT v FROM t ORDER BY v)");
   EXPECT_EQ(result.status().code(), StatusCode::kParseError);

@@ -15,13 +15,17 @@ namespace {
 TemporalDB InventoryDb() {
   // A small inventory: items with price/category valid over periods.
   TemporalDB db(TimeDomain{0, 100});
-  db.CreatePeriodTable("items",
-                       {"name", "category", "price", "qty", "vt_b", "vt_e"},
-                       "vt_b", "vt_e");
+  EXPECT_TRUE(db.CreatePeriodTable(
+                    "items",
+                    {"name", "category", "price", "qty", "vt_b", "vt_e"},
+                    "vt_b", "vt_e")
+                  .ok());
   auto add = [&](const char* n, const char* c, double p, int64_t q,
                  int64_t b, int64_t e) {
-    db.Insert("items", {Value::String(n), Value::String(c), Value::Double(p),
-                        Value::Int(q), Value::Int(b), Value::Int(e)});
+    EXPECT_TRUE(db.Insert("items", {Value::String(n), Value::String(c),
+                                    Value::Double(p), Value::Int(q),
+                                    Value::Int(b), Value::Int(e)})
+                    .ok());
   };
   add("promo box", "box", 10.0, 5, 0, 40);
   add("promo box", "box", 12.5, 5, 40, 90);
@@ -125,9 +129,12 @@ TEST(SqlFeatureTest, AsOfOutsideDomainFails) {
 
 TEST(SqlFeatureTest, UnionAllOfDifferentTablesUnderSnapshots) {
   TemporalDB db = InventoryDb();
-  db.CreatePeriodTable("incoming", {"name", "vt_b", "vt_e"}, "vt_b", "vt_e");
-  db.Insert("incoming",
-            {Value::String("promo box"), Value::Int(50), Value::Int(70)});
+  ASSERT_TRUE(db.CreatePeriodTable("incoming", {"name", "vt_b", "vt_e"},
+                                   "vt_b", "vt_e")
+                  .ok());
+  ASSERT_TRUE(db.Insert("incoming", {Value::String("promo box"),
+                                     Value::Int(50), Value::Int(70)})
+                  .ok());
   ExpectMatchesOracle(db,
                       "SEQ VT (SELECT name FROM items UNION ALL "
                       "SELECT name FROM incoming)");

@@ -1,0 +1,359 @@
+#!/usr/bin/env python3
+"""Repo-specific lint pass for periodk.
+
+Checks invariants that neither the compiler nor clang-tidy can express:
+
+  row-api-in-columnar-lane
+      Inside a marked columnar lane (see below) the row view is off
+      limits: rows() / AddRow / mutable_rows materialize or decay the
+      row representation and silently forfeit the vectorized path.
+      Lanes are delimited with marker comments:
+          // periodk-lint: columnar-lane-begin(<name>)
+          // periodk-lint: columnar-lane-end(<name>)
+
+  naked-mutex
+      src/ code must use the annotated wrappers from
+      common/thread_annotations.h (Mutex, SharedMutex, MutexLock, ...)
+      so Clang's thread-safety analysis sees every lock.  Raw
+      std::mutex & friends are invisible to the analysis.
+
+  relation-by-value
+      Relation is a deep container (row vectors or whole columns);
+      passing it by value copies the table.  Take const Relation& (or
+      Relation&& for sinks).  Deliberate ownership sinks carry an
+      allow() suppression naming the reason.
+
+  missing-nodiscard
+      Function declarations in headers returning Status or Result<T>
+      must be marked [[nodiscard]].  The class-level [[nodiscard]] on
+      Status/Result already catches discards at call sites; the
+      per-declaration marker keeps the contract visible at the API and
+      survives wrappers (e.g. auto-returning forwarders).
+
+Suppressions: a finding is waived by a comment on the same or the
+preceding line --
+
+    // periodk-lint: allow(<rule-id>): <reason>
+
+The reason is mandatory; a blanket allow() without one is itself
+reported.
+
+Usage:
+    tools/periodk_lint.py [--root DIR] [FILE...]
+    tools/periodk_lint.py --self-test
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+ALLOW_RE = re.compile(r"periodk-lint:\s*allow\(([a-z-]+)\):?\s*(.*)")
+LANE_BEGIN_RE = re.compile(r"periodk-lint:\s*columnar-lane-begin\(([\w-]+)\)")
+LANE_END_RE = re.compile(r"periodk-lint:\s*columnar-lane-end\(([\w-]+)\)")
+
+ROW_API_RE = re.compile(r"\.rows\(\)|\bAddRow\s*\(|\bmutable_rows\s*\(")
+NAKED_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|shared_|timed_)?mutex\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|std::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b")
+# A Relation parameter passed by value: `Relation ident` directly
+# followed by `,` / `)` / `=` (default argument).  References, rvalue
+# references and pointers do not match.  DOTALL so parameters on
+# continuation lines are still seen.
+RELATION_BY_VALUE_RE = re.compile(
+    r"[(,]\s*Relation\s+\w+\s*(?=[,)=])", re.DOTALL)
+# `Status f(...)` / `Result<...> f(...)` at a declaration head.  The
+# required whitespace after the type excludes qualified calls such as
+# Status::OK(); the lookbehind excludes template arguments.
+NODISCARD_DECL_RE = re.compile(
+    r"(?<![:\w<,])(?:Status|Result<[^;{}()]*>)\s+\w+\s*\(")
+
+# Files exempt from naked-mutex: the wrappers themselves.
+MUTEX_EXEMPT = ("common/thread_annotations.h",)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure, so token scans cannot match inside them."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2
+                       else text[i:j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def collect_allows(lines, findings, path):
+    """Maps line number -> set of allowed rule ids.  An allow() on line
+    L waives findings on L..L+2: the comment sits on or above the
+    flagged line, and declarations wrap onto a continuation line."""
+    allows = {}
+    for idx, line in enumerate(lines, start=1):
+        m = ALLOW_RE.search(line)
+        if m is None:
+            continue
+        rule, reason = m.group(1), m.group(2).strip()
+        if not reason:
+            findings.append(Finding(
+                path, idx, "suppression-missing-reason",
+                f"allow({rule}) must state a reason after the colon"))
+            continue
+        for covered in (idx, idx + 1, idx + 2):
+            allows.setdefault(covered, set()).add(rule)
+    return allows
+
+
+def check_columnar_lanes(path, rel, lines, findings):
+    if not rel.startswith("engine/"):
+        return
+    lane = None  # (name, begin line)
+    for idx, line in enumerate(lines, start=1):
+        begin = LANE_BEGIN_RE.search(line)
+        end = LANE_END_RE.search(line)
+        if begin is not None:
+            if lane is not None:
+                findings.append(Finding(
+                    path, idx, "row-api-in-columnar-lane",
+                    f"lane '{begin.group(1)}' opened inside open lane "
+                    f"'{lane[0]}' (line {lane[1]})"))
+            lane = (begin.group(1), idx)
+            continue
+        if end is not None:
+            if lane is None or end.group(1) != lane[0]:
+                findings.append(Finding(
+                    path, idx, "row-api-in-columnar-lane",
+                    f"stray lane end '{end.group(1)}'"))
+            lane = None
+            continue
+        if lane is not None and ROW_API_RE.search(line) is not None:
+            findings.append(Finding(
+                path, idx, "row-api-in-columnar-lane",
+                f"row API inside columnar lane '{lane[0]}' "
+                "(rows()/AddRow/mutable_rows decay the columnar path)"))
+    if lane is not None:
+        findings.append(Finding(
+            path, lane[1], "row-api-in-columnar-lane",
+            f"lane '{lane[0]}' is never closed"))
+
+
+def check_naked_mutex(path, rel, stripped_lines, findings):
+    if any(rel.endswith(e) for e in MUTEX_EXEMPT):
+        return
+    for idx, line in enumerate(stripped_lines, start=1):
+        m = NAKED_MUTEX_RE.search(line)
+        if m is not None:
+            findings.append(Finding(
+                path, idx, "naked-mutex",
+                f"use the annotated wrappers from "
+                f"common/thread_annotations.h instead of {m.group(0)}"))
+
+
+def check_relation_by_value(path, stripped, findings):
+    for m in RELATION_BY_VALUE_RE.finditer(stripped):
+        # Position the finding on the line of the Relation token, where
+        # a same-line or preceding-line allow() naturally sits.
+        token = stripped.index("Relation", m.start(), m.end())
+        findings.append(Finding(
+            path, line_of(stripped, token), "relation-by-value",
+            "Relation passed by value copies the table; take "
+            "const Relation& (or suppress for a deliberate sink)"))
+
+
+def check_missing_nodiscard(path, rel, stripped, findings):
+    if not rel.endswith(".h"):
+        return
+    for m in NODISCARD_DECL_RE.finditer(stripped):
+        # The declaration segment: everything since the previous
+        # ; { or } must mention [[nodiscard]].
+        start = max(stripped.rfind(c, 0, m.start()) for c in ";{}")
+        segment = stripped[start + 1:m.start()]
+        if "[[nodiscard]]" in segment:
+            continue
+        if re.search(r"\breturn\s*$", segment):
+            continue  # return statement in an inline body, not a decl
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "missing-nodiscard",
+            "Status/Result-returning declaration lacks [[nodiscard]]"))
+
+
+def lint_file(path, rel):
+    try:
+        text = open(path, encoding="utf-8").read()
+    except (OSError, UnicodeDecodeError) as err:
+        return [Finding(path, 0, "io-error", str(err))]
+    findings = []
+    lines = text.splitlines()
+    stripped = strip_comments_and_strings(text)
+    stripped_lines = stripped.splitlines()
+    allows = collect_allows(lines, findings, path)
+    check_columnar_lanes(path, rel, lines, findings)
+    check_naked_mutex(path, rel, stripped_lines, findings)
+    check_relation_by_value(path, stripped, findings)
+    check_missing_nodiscard(path, rel, stripped, findings)
+    return [f for f in findings
+            if f.rule not in allows.get(f.line, ())]
+
+
+def lint_tree(root):
+    findings = []
+    src = os.path.join(root, "src")
+    for dirpath, _, names in os.walk(src):
+        for name in sorted(names):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, src)
+            findings.extend(lint_file(path, rel))
+    return findings
+
+
+# --- self test --------------------------------------------------------------
+
+SELF_TEST_FILES = {
+    # One violation per rule, plus a suppressed twin proving allow()
+    # works and a clean lane proving markers do not themselves fire.
+    "src/engine/lane_bad.cc": """\
+// periodk-lint: columnar-lane-begin(demo)
+void Kernel(const Relation& input) {
+  for (const Row& row : input.rows()) Use(row);
+}
+// periodk-lint: columnar-lane-end(demo)
+""",
+    "src/engine/lane_ok.cc": """\
+// periodk-lint: columnar-lane-begin(demo)
+void Kernel(const Relation& input) {
+  const int64_t* xs = input.col(0).ints();
+}
+// periodk-lint: columnar-lane-end(demo)
+""",
+    "src/common/mutex_bad.cc": """\
+#include <mutex>
+std::mutex raw_mu;
+""",
+    "src/ra/byvalue_bad.h": """\
+void Consume(Relation relation);
+// periodk-lint: allow(relation-by-value): ownership sink for the test
+void ConsumeAllowed(Relation relation);
+""",
+    "src/sql/nodiscard_bad.h": """\
+class Status;
+Status Flush();
+[[nodiscard]] Status FlushChecked();
+""",
+    "src/common/reasonless.cc": """\
+// periodk-lint: allow(naked-mutex):
+""",
+}
+
+SELF_TEST_EXPECT = {
+    ("lane_bad.cc", "row-api-in-columnar-lane"): 1,
+    ("mutex_bad.cc", "naked-mutex"): 1,
+    ("byvalue_bad.h", "relation-by-value"): 1,
+    ("nodiscard_bad.h", "missing-nodiscard"): 1,
+    ("reasonless.cc", "suppression-missing-reason"): 1,
+}
+
+
+def self_test():
+    with tempfile.TemporaryDirectory(prefix="periodk_lint_") as root:
+        for rel, body in SELF_TEST_FILES.items():
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(body)
+        findings = lint_tree(root)
+        got = {}
+        for f in findings:
+            got[(os.path.basename(f.path), f.rule)] = got.get(
+                (os.path.basename(f.path), f.rule), 0) + 1
+        failures = []
+        if got != SELF_TEST_EXPECT:
+            for key in sorted(set(got) | set(SELF_TEST_EXPECT)):
+                want_n, got_n = SELF_TEST_EXPECT.get(key, 0), got.get(key, 0)
+                if want_n != got_n:
+                    failures.append(
+                        f"{key[0]} [{key[1]}]: expected {want_n}, "
+                        f"got {got_n}")
+        if failures:
+            print("self-test FAILED:")
+            for f in failures:
+                print(f"  {f}")
+            for f in findings:
+                print(f"  raw: {f}")
+            return 1
+    print("self-test passed: every rule fires and allow() suppresses.")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tools/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in rule self test and exit")
+    ap.add_argument("files", nargs="*",
+                    help="specific files to lint (default: all of src/)")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    if args.files:
+        findings = []
+        src = os.path.join(args.root, "src")
+        for path in args.files:
+            rel = os.path.relpath(os.path.abspath(path), src)
+            findings.extend(lint_file(path, rel))
+    else:
+        findings = lint_tree(args.root)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"periodk-lint: {len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the library sources using the repo .clang-tidy.
+
+Reads compile_commands.json from the build directory (configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON, the repo default), filters it to
+src/*.cc, and fans the files out over a process pool.  Exits nonzero
+if any file produces a diagnostic -- .clang-tidy sets
+WarningsAsErrors: '*', so warnings fail too.
+
+Usage:
+    tools/run_clang_tidy.py [--build-dir build] [--clang-tidy BIN] [-j N]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+
+def find_clang_tidy(explicit):
+    candidates = [explicit] if explicit else []
+    candidates += ["clang-tidy"] + [f"clang-tidy-{v}"
+                                    for v in range(22, 13, -1)]
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build",
+                    help="build dir containing compile_commands.json")
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy binary (default: search PATH)")
+    ap.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
+    args = ap.parse_args()
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        print("run_clang_tidy: no clang-tidy binary found on PATH",
+              file=sys.stderr)
+        return 2
+
+    db_path = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"run_clang_tidy: {db_path} not found; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 2
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src_prefix = os.path.join(root, "src") + os.sep
+    with open(db_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    files = sorted({
+        os.path.abspath(os.path.join(e["directory"], e["file"]))
+        for e in entries})
+    files = [p for p in files if p.startswith(src_prefix)]
+    if not files:
+        print("run_clang_tidy: no src/ entries in the compilation database",
+              file=sys.stderr)
+        return 2
+
+    def run_one(path):
+        proc = subprocess.run(
+            [tidy, "-p", args.build_dir, "--quiet", path],
+            capture_output=True, text=True)
+        return path, proc.returncode, proc.stdout + proc.stderr
+
+    failed = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for path, code, output in pool.map(run_one, files):
+            rel = os.path.relpath(path, root)
+            if code != 0:
+                failed += 1
+                print(f"--- {rel}")
+                print(output)
+            else:
+                print(f"ok  {rel}")
+    if failed:
+        print(f"run_clang_tidy: {failed}/{len(files)} file(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
