@@ -12,6 +12,8 @@
 #include "engine/interval_join.h"
 #include "engine/temporal_ops.h"
 #include "engine/timeline_index.h"
+#include "ra/cost_model.h"
+#include "stats/table_stats.h"
 
 namespace periodk {
 
@@ -43,6 +45,12 @@ std::shared_ptr<const TimelineIndex> Catalog::GetIndex(
     const std::string& name) const {
   auto it = indexes_.find(name);
   return it == indexes_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const TableStats> Catalog::GetStats(
+    const std::string& name) const {
+  auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : it->second;
 }
 
 namespace {
@@ -140,6 +148,12 @@ Relation ExecHashJoin(const Plan& plan, const Relation& left,
 
 Relation ExecJoin(const Plan& plan, const Relation& left,
                   const Relation& right, const OpContext& ctx) {
+  // The cost model's plan-level hint wins over the structural dispatch
+  // (it is part of the plan shape: the sweep and the nested loop emit
+  // rows in different orders, so this substitution is never silent).
+  if (plan.join_strategy == JoinStrategy::kNestedLoop) {
+    return NestedLoopJoin(plan, left, right);
+  }
   // Physical join selection from the build-time predicate analysis:
   // interval sweep when an overlap conjunct was recognized (with the
   // equi-keys as partition keys), hash join on plain equi-keys, nested
@@ -148,6 +162,18 @@ Relation ExecJoin(const Plan& plan, const Relation& left,
     return IntervalOverlapJoin(plan, left, right, ctx);
   }
   if (!plan.join.equi_keys.empty()) {
+    // Execution-time cost gate: for tiny inputs the hash build costs
+    // more than |L|*|R| predicate evaluations.  The demotion is
+    // row-identical — the hash join probes left in order and chains
+    // right matches in right order, exactly the nested loop's emission
+    // order — so it is safe without a plan-level marker.
+    if (ctx.use_cost_model &&
+        static_cast<int64_t>(left.size()) *
+                static_cast<int64_t>(right.size()) <=
+            kTinyJoinProduct) {
+      if (ctx.stats != nullptr) ++ctx.stats->cost_nl_joins;
+      return NestedLoopJoin(plan, left, right);
+    }
     return ExecHashJoin(plan, left, right);
   }
   return NestedLoopJoin(plan, left, right);
@@ -329,7 +355,7 @@ Relation ExecAggregate(const Plan& plan, const Relation& input,
   // (AggState partials merge exactly — the same machinery
   // pre-aggregation uses).  The single-chunk path is the sequential
   // operator, bit for bit.
-  auto ranges = PlanChunks(ctx.num_threads(),
+  auto ranges = PlanChunks(ctx.num_threads(static_cast<int64_t>(input.size())),
                            static_cast<int64_t>(input.size()),
                            /*min_grain=*/4096);
   GroupTable table;
@@ -428,12 +454,14 @@ Relation ExecSort(const Plan& plan, Relation input) {
 class ExecutionContext {
  public:
   ExecutionContext(const Catalog& catalog, ExecStats* stats, bool memoize,
-                   LazyThreadPool* pool, bool use_timeline_index)
+                   LazyThreadPool* pool, bool use_timeline_index,
+                   bool use_cost_model)
       : catalog_(catalog),
         stats_(stats),
         memoize_(memoize),
         pool_(pool),
-        use_timeline_index_(use_timeline_index) {}
+        use_timeline_index_(use_timeline_index),
+        use_cost_model_(use_cost_model) {}
 
   RelHandle Run(const PlanPtr& plan) {
     if (memoize_) CountConsumers(plan);
@@ -479,7 +507,7 @@ class ExecutionContext {
     return std::make_shared<Relation>(std::move(relation));
   }
 
-  OpContext Ctx() const { return OpContext{pool_, stats_}; }
+  OpContext Ctx() const { return OpContext{pool_, stats_, use_cost_model_}; }
 
   /// Derives an interval-join sweep filter for one side of an overlap
   /// join: when that side is a base-table scan with a current
@@ -559,6 +587,17 @@ class ExecutionContext {
   }
 
   RelHandle Compute(const PlanPtr& plan) {
+    RelHandle h = ComputeImpl(plan);
+    if (stats_ != nullptr) {
+      // Actual output rows per node, for ExplainAnalyze's est-vs-actual
+      // rendering.  Only this top-level dispatch (calling thread)
+      // writes the map, never the chunk workers.
+      stats_->node_rows[plan.get()] = static_cast<int64_t>(h->size());
+    }
+    return h;
+  }
+
+  RelHandle ComputeImpl(const PlanPtr& plan) {
     if (stats_ != nullptr) ++stats_->nodes_executed;
     switch (plan->kind) {
       case PlanKind::kScan:
@@ -576,7 +615,8 @@ class ExecutionContext {
       case PlanKind::kJoin: {
         RelHandle l = ExecuteNode(plan->left);
         RelHandle r = ExecuteNode(plan->right);
-        if (use_timeline_index_ && plan->join.overlap.has_value()) {
+        if (use_timeline_index_ && plan->join.overlap.has_value() &&
+            plan->join_strategy == JoinStrategy::kAuto) {
           JoinCandidates cands;
           std::vector<char> keep_l;
           std::vector<char> keep_r;
@@ -660,6 +700,7 @@ class ExecutionContext {
   bool memoize_;
   LazyThreadPool* pool_;
   bool use_timeline_index_;
+  bool use_cost_model_;
   // Requests not yet served per node; nodes starting > 1 are shared.
   std::unordered_map<const Plan*, int> consumers_left_;
   // Results of shared nodes awaiting their remaining consumers.
@@ -670,6 +711,15 @@ class ExecutionContext {
 
 int OpContext::num_threads() const {
   return pool == nullptr ? 1 : pool->num_threads();
+}
+
+int OpContext::num_threads(int64_t work) const {
+  const int n = num_threads();
+  if (use_cost_model && work < kParallelMinRows) {
+    if (n > 1 && stats != nullptr) ++stats->cost_gated_fanouts;
+    return 1;
+  }
+  return n;
 }
 
 Relation GatherChunks(std::vector<Relation> outs,
@@ -693,6 +743,9 @@ void ExecStats::Merge(const ExecStats& other) {
   parallel_tasks += other.parallel_tasks;
   index_timeslices += other.index_timeslices;
   index_join_prunes += other.index_join_prunes;
+  cost_nl_joins += other.cost_nl_joins;
+  cost_gated_fanouts += other.cost_gated_fanouts;
+  for (const auto& [node, rows] : other.node_rows) node_rows[node] = rows;
 }
 
 std::string ExecStats::ToString() const {
@@ -701,7 +754,9 @@ std::string ExecStats::ToString() const {
                 ", rows materialized: ", rows_materialized,
                 ", parallel tasks: ", parallel_tasks,
                 ", index timeslices: ", index_timeslices,
-                ", index join prunes: ", index_join_prunes);
+                ", index join prunes: ", index_join_prunes,
+                ", cost nl joins: ", cost_nl_joins,
+                ", cost gated fan-outs: ", cost_gated_fanouts);
 }
 
 Relation Execute(const PlanPtr& plan, const Catalog& catalog,
@@ -712,7 +767,8 @@ Relation Execute(const PlanPtr& plan, const Catalog& catalog,
   LazyThreadPool pool(options.num_threads);
   ExecutionContext context(catalog, stats, options.memoize,
                            options.num_threads > 1 ? &pool : nullptr,
-                           options.use_timeline_index);
+                           options.use_timeline_index,
+                           options.use_cost_model);
   return Materialize(context.Run(plan));
 }
 

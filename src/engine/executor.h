@@ -38,18 +38,26 @@
 namespace periodk {
 
 class LazyThreadPool;
+class TableStats;
 class TimelineIndex;
 
 class Catalog {
  public:
   // periodk-lint: allow(relation-by-value): ownership sink, callers move
   void Put(const std::string& name, Relation relation) {
-    tables_.insert_or_assign(
-        name, std::make_shared<const Relation>(std::move(relation)));
-    // Writers invalidate like they publish: replacing the relation
-    // drops its timeline index (a stale index would also be rejected by
-    // TimelineIndex::BuiltFor, but dropping it here frees the memory).
+    PutShared(name, std::make_shared<const Relation>(std::move(relation)));
+  }
+
+  /// Publishes a pre-wrapped relation handle (the middleware writers
+  /// share one handle between the catalog and the stats collector).
+  /// Like Put, replacing the relation drops its timeline index and
+  /// statistics (stale ones would also be rejected by BuiltFor, but
+  /// dropping here frees the memory).
+  void PutShared(const std::string& name,
+                 std::shared_ptr<const Relation> relation) {
+    tables_.insert_or_assign(name, std::move(relation));
     indexes_.erase(name);
+    stats_.erase(name);
   }
   bool Has(const std::string& name) const { return tables_.count(name) > 0; }
   const Relation& Get(const std::string& name) const;
@@ -72,11 +80,25 @@ class Catalog {
   /// The table's timeline index, or nullptr when none is attached.
   std::shared_ptr<const TimelineIndex> GetIndex(const std::string& name) const;
 
+  /// Attaches immutable statistics to a table.  Same discipline as
+  /// PutIndex: the stats should be collected from the table's current
+  /// relation object (TableStats::BuiltFor), consumers verify that
+  /// before trusting them, and handles are shared by catalog copies
+  /// and replaced — never mutated — in place.
+  void PutStats(const std::string& name,
+                std::shared_ptr<const TableStats> stats) {
+    stats_.insert_or_assign(name, std::move(stats));
+  }
+  /// The table's statistics, or nullptr when none are attached.
+  std::shared_ptr<const TableStats> GetStats(const std::string& name) const;
+
  private:
-  // Copying the map copies shared_ptrs, not relations: a Catalog copy is
-  // an immutable snapshot of the whole database (indexes included).
+  // Copying the maps copies shared_ptrs, not relations: a Catalog copy
+  // is an immutable snapshot of the whole database (indexes and stats
+  // included).
   std::map<std::string, std::shared_ptr<const Relation>> tables_;
   std::map<std::string, std::shared_ptr<const TimelineIndex>> indexes_;
+  std::map<std::string, std::shared_ptr<const TableStats>> stats_;
 };
 
 /// Per-execution counters, for tests and EXPLAIN ANALYZE-style output.
@@ -102,8 +124,22 @@ struct ExecStats {
   /// TimelineIndex::AliveInRange candidates (rows provably outside the
   /// opposite side's endpoint span skip the sweep).
   int64_t index_join_prunes = 0;
+  /// Equi joins the cost gate demoted to the (row-identical) nested
+  /// loop because the input product was below kTinyJoinProduct.
+  int64_t cost_nl_joins = 0;
+  /// Partition fan-outs the cost gate kept sequential because the
+  /// operator's input was below kParallelMinRows.
+  int64_t cost_gated_fanouts = 0;
+  /// Actual output rows per executed plan node (filled only by the
+  /// top-level per-node dispatch, which runs on the calling thread, so
+  /// no entry is written concurrently).  Keys are plan-node identities;
+  /// consumers (ExplainAnalyze) render them by walking the plan, never
+  /// by iterating this map, so pointer order cannot leak into output.
+  std::map<const Plan*, int64_t> node_rows;
 
   void Merge(const ExecStats& other);
+  /// Counter rendering; deterministic (node_rows is deliberately not
+  /// printed here — it has no meaning without the plan to walk).
   std::string ToString() const;
 };
 
@@ -124,6 +160,14 @@ struct ExecOptions {
   /// the num_threads-style bit-identical fallback that never consults
   /// an index.
   bool use_timeline_index = true;
+  /// Let the executor's *row-identical* cost gates fire: tiny equi
+  /// joins run as nested loops instead of building a hash table, and
+  /// partitioned operators skip the thread-pool fan-out when the input
+  /// is below the break-even size (ra/cost_model.h thresholds).  Both
+  /// substitutions produce the same rows in the same order, so this is
+  /// an execution-time knob (not part of the plan-cache key); false
+  /// reproduces the structural dispatch bit-identically.
+  bool use_cost_model = true;
 };
 
 /// What an operator needs from its execution context: the pool to fan
@@ -134,9 +178,19 @@ struct ExecOptions {
 struct OpContext {
   LazyThreadPool* pool = nullptr;
   ExecStats* stats = nullptr;
+  /// Mirrors ExecOptions::use_cost_model.  Default-off so operator
+  /// tests that aggregate-initialize {&pool, &stats} keep today's
+  /// ungated fan-out behavior.
+  bool use_cost_model = false;
 
   /// Thread budget for PlanChunks; 1 when no pool was provided.
   int num_threads() const;
+
+  /// Cost-gated thread budget for an operator touching `work` input
+  /// rows: 1 (skip the fan-out, counted in cost_gated_fanouts) when
+  /// the cost model is on and `work` is below kParallelMinRows,
+  /// otherwise num_threads().
+  int num_threads(int64_t work) const;
 };
 
 /// Concatenates per-chunk operator outputs in chunk order (so a

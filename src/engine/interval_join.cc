@@ -341,9 +341,10 @@ bool TryColumnarOverlapJoin(const Plan& plan, const Relation& left,
   stage(/*is_left=*/true, left, lpacked, lb, le, candidates.left);
   stage(/*is_left=*/false, right, rpacked, rb, re, candidates.right);
 
-  auto ranges = PlanChunks(ctx.num_threads(),
-                           static_cast<int64_t>(buckets.size()),
-                           /*min_grain=*/1);
+  auto ranges = PlanChunks(
+      ctx.num_threads(static_cast<int64_t>(left.size() + right.size())),
+      static_cast<int64_t>(buckets.size()),
+      /*min_grain=*/1);
   std::vector<RowPair> pairs;
   if (ranges.size() <= 1) {
     FastSweepScratch scratch;
@@ -398,12 +399,99 @@ bool TryColumnarOverlapJoin(const Plan& plan, const Relation& left,
 Relation NestedLoopJoin(const Plan& plan, const Relation& left,
                         const Relation& right) {
   Relation out(plan.schema);
+  const JoinAnalysis& ja = plan.join;
+  if (ja.equi_keys.empty() && !ja.overlap.has_value()) {
+    // Genuinely opaque predicate: evaluate it per pair.
+    for (const Row& lrow : left.rows()) {
+      for (const Row& rrow : right.rows()) {
+        Row combined = Concat(lrow, rrow);
+        if (plan.predicate->EvalBool(combined)) {
+          out.AddRow(std::move(combined));
+        }
+      }
+    }
+    return out;
+  }
+  // Analyzed predicate: test the decomposed conjuncts directly on the
+  // source rows (equivalent to the full predicate — join_analysis.h
+  // guarantees the parts conjoined back are the original under SQL
+  // three-valued logic) and materialize only matching pairs.  Same
+  // left-major emission order as the opaque path.
+  if (ja.equi_keys.empty() && ja.overlap.has_value() &&
+      ja.residual == nullptr) {
+    // Pure temporal join — the shape the tiny-join hint fires on.
+    // Decode the endpoints once into typed arrays so the pair loop is
+    // integer compares; bail to the generic Value loop only for
+    // non-int non-null endpoints (where cross-type SQL comparison
+    // rules must decide).
+    const OverlapSpec& ov = *ja.overlap;
+    auto extract = [](const Relation& rel, int bcol, int ecol,
+                      std::vector<TimePoint>* b, std::vector<TimePoint>* e,
+                      std::vector<char>* ok) {
+      const auto& rows = rel.rows();
+      b->resize(rows.size());
+      e->resize(rows.size());
+      ok->assign(rows.size(), 0);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const Value& vb = rows[i][static_cast<size_t>(bcol)];
+        const Value& ve = rows[i][static_cast<size_t>(ecol)];
+        if (vb.is_null() || ve.is_null()) continue;  // never matches
+        if (vb.type() != ValueType::kInt || ve.type() != ValueType::kInt) {
+          return false;
+        }
+        (*b)[i] = vb.AsInt();
+        (*e)[i] = ve.AsInt();
+        (*ok)[i] = 1;
+      }
+      return true;
+    };
+    std::vector<TimePoint> lb;
+    std::vector<TimePoint> le;
+    std::vector<TimePoint> rb;
+    std::vector<TimePoint> re;
+    std::vector<char> lok;
+    std::vector<char> rok;
+    if (extract(left, ov.left_begin, ov.left_end, &lb, &le, &lok) &&
+        extract(right, ov.right_begin, ov.right_end, &rb, &re, &rok)) {
+      for (size_t i = 0; i < left.rows().size(); ++i) {
+        if (lok[i] == 0) continue;
+        for (size_t j = 0; j < right.rows().size(); ++j) {
+          if (rok[j] != 0 && lb[i] < re[j] && rb[j] < le[i]) {
+            out.AddRow(Concat(left.rows()[i], right.rows()[j]));
+          }
+        }
+      }
+      return out;
+    }
+  }
+  auto strictly_less = [](const Value& a, const Value& b) {
+    const std::optional<int> c = SqlCompare(a, b);
+    return c.has_value() && *c < 0;
+  };
   for (const Row& lrow : left.rows()) {
     for (const Row& rrow : right.rows()) {
-      Row combined = Concat(lrow, rrow);
-      if (plan.predicate->EvalBool(combined)) {
-        out.AddRow(std::move(combined));
+      bool match = true;
+      for (const auto& [lc, rc] : ja.equi_keys) {
+        const std::optional<int> c = SqlCompare(
+            lrow[static_cast<size_t>(lc)], rrow[static_cast<size_t>(rc)]);
+        if (!c.has_value() || *c != 0) {
+          match = false;
+          break;
+        }
       }
+      if (match && ja.overlap.has_value()) {
+        const OverlapSpec& ov = *ja.overlap;
+        match = strictly_less(lrow[static_cast<size_t>(ov.left_begin)],
+                              rrow[static_cast<size_t>(ov.right_end)]) &&
+                strictly_less(rrow[static_cast<size_t>(ov.right_begin)],
+                              lrow[static_cast<size_t>(ov.left_end)]);
+      }
+      if (!match) continue;
+      Row combined = Concat(lrow, rrow);
+      if (ja.residual != nullptr && !ja.residual->EvalBool(combined)) {
+        continue;
+      }
+      out.AddRow(std::move(combined));
     }
   }
   return out;
@@ -479,9 +567,10 @@ Relation IntervalOverlapJoin(const Plan& plan, const Relation& left,
   // result row order depends only on the chunk plan, not on worker
   // scheduling.  A single-bucket join (pure temporal, no equi-keys)
   // stays sequential by construction.
-  auto ranges = PlanChunks(ctx.num_threads(),
-                           static_cast<int64_t>(buckets.size()),
-                           /*min_grain=*/1);
+  auto ranges = PlanChunks(
+      ctx.num_threads(static_cast<int64_t>(left.size() + right.size())),
+      static_cast<int64_t>(buckets.size()),
+      /*min_grain=*/1);
 
   if (ranges.size() <= 1) {
     Relation out(plan.schema);

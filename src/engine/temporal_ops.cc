@@ -160,7 +160,8 @@ Relation CoalesceNative(const Relation& input, const OpContext& ctx) {
   // The per-group sweeps are independent: chunks of groups fan out to
   // the pool, each into its own segment slots.
   std::vector<std::vector<CoalescedSegment>> segments(ngroups);
-  auto ranges = PlanChunks(ctx.num_threads(), static_cast<int64_t>(ngroups),
+  auto ranges = PlanChunks(ctx.num_threads(static_cast<int64_t>(input.size())),
+                           static_cast<int64_t>(ngroups),
                            /*min_grain=*/1);
   if (ranges.size() <= 1) {
     std::vector<std::pair<TimePoint, int64_t>> events;
@@ -688,7 +689,8 @@ Relation SplitAggregateRelation(const Relation& input,
   // The per-group sweeps are independent; chunks of groups fan out to
   // the pool exactly like the coalesce sweep.
   size_t ngroups = group_partials.size();
-  auto ranges = PlanChunks(ctx.num_threads(), static_cast<int64_t>(ngroups),
+  auto ranges = PlanChunks(ctx.num_threads(static_cast<int64_t>(input.size())),
+                           static_cast<int64_t>(ngroups),
                            /*min_grain=*/1);
   if (ranges.size() <= 1) {
     Relation out(std::move(schema));

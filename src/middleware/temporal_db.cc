@@ -1,11 +1,14 @@
 #include "middleware/temporal_db.h"
 
+#include <optional>
 #include <utility>
 
 #include "common/str_util.h"
 #include "engine/temporal_ops.h"
 #include "engine/timeline_index.h"
+#include "ra/cost_model.h"
 #include "sql/parser.h"
+#include "stats/table_stats.h"
 
 namespace periodk {
 
@@ -16,9 +19,11 @@ namespace {
 constexpr size_t kPlanCacheMaxEntries = 1024;
 
 /// Cache key for a (SQL text, rewrite options) pair.  Every option that
-/// changes the produced plan is part of the key, so plans cached under
-/// different options never alias.  num_threads is deliberately absent:
-/// it only changes how a plan executes, never the plan itself.
+/// changes the produced plan is part of the key — use_cost_model shapes
+/// plans (join reorder, strategy hints), so it is included — and plans
+/// cached under different options never alias.  num_threads and
+/// use_timeline_index are deliberately absent: they only change how a
+/// plan executes, never the plan itself.
 std::string PlanCacheKey(const std::string& sql,
                          const RewriteOptions& options) {
   return StrCat(static_cast<int>(options.semantics),
@@ -27,9 +32,25 @@ std::string PlanCacheKey(const std::string& sql,
                 static_cast<int>(options.pre_aggregate),
                 static_cast<int>(options.final_coalesce),
                 static_cast<int>(options.coalesce_impl),
-                static_cast<int>(options.push_down_timeslice), "|", sql);
+                static_cast<int>(options.push_down_timeslice),
+                static_cast<int>(options.use_cost_model), "|", sql);
 }
 
+/// A mutated table ready to publish: the shared relation handle plus
+/// its statistics, both built *outside* the catalog locks (stats are a
+/// pure function of the immutable relation).  Period tables profile
+/// their stored interval columns; (-1, -1) means no period columns.
+struct PublishedTable {
+  std::shared_ptr<const Relation> relation;
+  std::shared_ptr<const TableStats> stats;
+};
+
+// periodk-lint: allow(relation-by-value): ownership sink, callers move
+PublishedTable PrepareTable(Relation relation, int begin_col, int end_col) {
+  auto shared = std::make_shared<const Relation>(std::move(relation));
+  auto stats = TableStats::Collect(shared, begin_col, end_col);
+  return PublishedTable{std::move(shared), std::move(stats)};
+}
 
 }  // namespace
 
@@ -76,9 +97,11 @@ Status TemporalDB::CreateTable(const std::string& name,
   }
   Relation table{Schema::FromNames(columns)};
   if (columnar_storage_) table.ToColumnar();
+  PublishedTable pub = PrepareTable(std::move(table), -1, -1);
   {
     SharedMutexLock lock(catalog_mu_);
-    catalog_.Put(name, std::move(table));
+    catalog_.PutShared(name, std::move(pub.relation));
+    catalog_.PutStats(name, std::move(pub.stats));
     ++catalog_generation_;
     table_versions_[name] = catalog_generation_;
   }
@@ -108,11 +131,15 @@ Status TemporalDB::CreatePeriodTable(const std::string& name,
       return Status::AlreadyExists(StrCat("table exists: ", name));
     }
   }
+  const int begin_idx = schema.Find("", begin_column);
+  const int end_idx = schema.Find("", end_column);
   Relation table{std::move(schema)};
   if (columnar_storage_) table.ToColumnar();
+  PublishedTable pub = PrepareTable(std::move(table), begin_idx, end_idx);
   {
     SharedMutexLock lock(catalog_mu_);
-    catalog_.Put(name, std::move(table));
+    catalog_.PutShared(name, std::move(pub.relation));
+    catalog_.PutStats(name, std::move(pub.stats));
     period_tables_[name] = sql::PeriodTableInfo{begin_column, end_column};
     ++catalog_generation_;
     table_versions_[name] = catalog_generation_;
@@ -138,9 +165,13 @@ Status TemporalDB::PutPeriodTable(const std::string& name, Relation relation,
   }
   MutexLock writer_lock(writer_mu_);
   if (columnar_storage_) relation.ToColumnar();
+  const int begin_idx = relation.schema().Find("", begin_column);
+  const int end_idx = relation.schema().Find("", end_column);
+  PublishedTable pub = PrepareTable(std::move(relation), begin_idx, end_idx);
   {
     SharedMutexLock lock(catalog_mu_);
-    catalog_.Put(name, std::move(relation));
+    catalog_.PutShared(name, std::move(pub.relation));
+    catalog_.PutStats(name, std::move(pub.stats));
     period_tables_[name] = sql::PeriodTableInfo{begin_column, end_column};
     ++catalog_generation_;
     table_versions_[name] = catalog_generation_;
@@ -152,12 +183,19 @@ Status TemporalDB::PutPeriodTable(const std::string& name, Relation relation,
 Status TemporalDB::Insert(const std::string& table, Row row) {
   MutexLock writer_lock(writer_mu_);
   std::shared_ptr<const Relation> current;
+  int begin_idx = -1;
+  int end_idx = -1;
   {
     SharedReaderLock lock(catalog_mu_);
     if (!catalog_.Has(table)) {
       return Status::NotFound(StrCat("unknown table: ", table));
     }
     current = catalog_.GetShared(table);
+    auto pt = period_tables_.find(table);
+    if (pt != period_tables_.end()) {
+      begin_idx = current->schema().Find("", pt->second.begin_column);
+      end_idx = current->schema().Find("", pt->second.end_column);
+    }
   }
   if (row.size() != current->schema().size()) {
     return Status::InvalidArgument(
@@ -169,9 +207,11 @@ Status TemporalDB::Insert(const std::string& table, Row row) {
   Relation next = *current;
   next.AddRow(std::move(row));
   if (columnar_storage_) next.ToColumnar();
+  PublishedTable pub = PrepareTable(std::move(next), begin_idx, end_idx);
   {
     SharedMutexLock lock(catalog_mu_);
-    catalog_.Put(table, std::move(next));
+    catalog_.PutShared(table, std::move(pub.relation));
+    catalog_.PutStats(table, std::move(pub.stats));
     ++catalog_generation_;
     table_versions_[table] = catalog_generation_;
   }
@@ -183,12 +223,19 @@ Status TemporalDB::InsertRows(const std::string& table,
                               std::vector<Row> rows) {
   MutexLock writer_lock(writer_mu_);
   std::shared_ptr<const Relation> current;
+  int begin_idx = -1;
+  int end_idx = -1;
   {
     SharedReaderLock lock(catalog_mu_);
     if (!catalog_.Has(table)) {
       return Status::NotFound(StrCat("unknown table: ", table));
     }
     current = catalog_.GetShared(table);
+    auto pt = period_tables_.find(table);
+    if (pt != period_tables_.end()) {
+      begin_idx = current->schema().Find("", pt->second.begin_column);
+      end_idx = current->schema().Find("", pt->second.end_column);
+    }
   }
   // Validate every arity before any row lands: a bulk insert is atomic,
   // so a mid-batch mismatch must not leave the table half-populated.
@@ -204,9 +251,11 @@ Status TemporalDB::InsertRows(const std::string& table,
   next.Reserve(next.size() + rows.size());
   for (Row& row : rows) next.AddRow(std::move(row));
   if (columnar_storage_) next.ToColumnar();
+  PublishedTable pub = PrepareTable(std::move(next), begin_idx, end_idx);
   {
     SharedMutexLock lock(catalog_mu_);
-    catalog_.Put(table, std::move(next));
+    catalog_.PutShared(table, std::move(pub.relation));
+    catalog_.PutStats(table, std::move(pub.stats));
     ++catalog_generation_;
     table_versions_[table] = catalog_generation_;
   }
@@ -271,15 +320,27 @@ TemporalDB::Snapshot TemporalDB::PinSnapshot() const {
 }
 
 std::shared_ptr<const TimelineIndex> TemporalDB::EnsureTimelineIndex(
-    const std::string& table, int begin_col, int end_col,
-    Snapshot& snap) const {
+    const std::string& table, int begin_col, int end_col, Snapshot& snap,
+    bool use_cost_model) const {
   std::shared_ptr<const Relation> relation = snap.catalog.GetShared(table);
   std::shared_ptr<const TimelineIndex> index = snap.catalog.GetIndex(table);
   if (index != nullptr && index->BuiltFor(relation.get()) &&
       index->begin_col() == begin_col && index->end_col() == end_col) {
     return index;
   }
-  index = TimelineIndex::Build(relation, begin_col, end_col);
+  // Replay cost per lookup is O(K); checkpoint memory is O(avg alive
+  // set) per checkpoint.  With statistics available, size K to the
+  // table's alive-set profile instead of the one-size default (either
+  // choice answers every lookup identically).
+  int64_t checkpoint_interval = TimelineIndex::kDefaultCheckpointInterval;
+  if (use_cost_model) {
+    std::shared_ptr<const TableStats> stats = snap.catalog.GetStats(table);
+    if (stats != nullptr && stats->BuiltFor(relation.get())) {
+      checkpoint_interval = CostModel::PickCheckpointInterval(*stats);
+    }
+  }
+  index = TimelineIndex::Build(relation, begin_col, end_col,
+                               checkpoint_interval);
   if (index == nullptr) return nullptr;  // unindexable: scan path decides
   snap.catalog.PutIndex(table, index);
   {
@@ -296,8 +357,8 @@ std::shared_ptr<const TimelineIndex> TemporalDB::EnsureTimelineIndex(
   return index;
 }
 
-void TemporalDB::EnsureTimelineIndexes(const PlanPtr& plan,
-                                       Snapshot& snap) const {
+void TemporalDB::EnsureTimelineIndexes(const PlanPtr& plan, Snapshot& snap,
+                                       bool use_cost_model) const {
   // A middleware plan acquires its kTimeslice at the statement root and
   // PushDownTimeslice only moves it through unary nodes, so any
   // indexable timeslice sits on the unary left spine — an
@@ -322,7 +383,7 @@ void TemporalDB::EnsureTimelineIndexes(const PlanPtr& plan,
     // projection.  The executor rejects any other layout.
     auto [begin_col, end_col] = ResolveSliceColumns(*node);
     if (begin_col >= arity || end_col >= arity) continue;
-    EnsureTimelineIndex(table, begin_col, end_col, snap);
+    EnsureTimelineIndex(table, begin_col, end_col, snap, use_cost_model);
   }
 }
 
@@ -335,11 +396,18 @@ Result<sql::BoundStatement> TemporalDB::BindSql(const std::string& sql,
 }
 
 Result<PlanPtr> TemporalDB::PlanBound(const sql::BoundStatement& bound,
-                                      const RewriteOptions& options) const {
+                                      const RewriteOptions& options,
+                                      const Snapshot& snap) const {
   try {
     PlanPtr plan = bound.plan;
+    // One model per planning pass: it reads the snapshot's statistics
+    // and memoizes per plan node, so the rewriter's reorder pre-pass
+    // and the strategy-hint pass below share estimates.
+    std::optional<CostModel> cost;
+    if (options.use_cost_model) cost.emplace(&snap.catalog, domain_);
     if (bound.snapshot) {
-      SnapshotRewriter rewriter(domain_, options, bound.encoded_tables);
+      SnapshotRewriter rewriter(domain_, options, bound.encoded_tables,
+                                cost.has_value() ? &*cost : nullptr);
       plan = rewriter.Rewrite(plan);
       if (bound.as_of.has_value()) {
         // tau_T of the snapshot result (Thm 6.3 guarantees this equals
@@ -357,6 +425,16 @@ Result<PlanPtr> TemporalDB::PlanBound(const sql::BoundStatement& bound,
           plan = PushDownTimeslice(plan);
         }
       }
+    } else if (cost.has_value()) {
+      // Non-snapshot statements scan stored tables directly; their
+      // commutative join clusters reorder with the same model.
+      plan = ReorderJoins(plan, *cost);
+    }
+    if (cost.has_value()) {
+      // Mark tiny overlap joins for the nested loop.  Runs on the final
+      // encoded plan (post-rewrite/pushdown) so the hint lands on the
+      // joins that actually execute.
+      plan = ApplyJoinStrategyHints(plan, *cost);
     }
     if (!bound.order_by.empty()) {
       Result<std::vector<SortKey>> keys =
@@ -406,7 +484,7 @@ Result<PlanPtr> TemporalDB::PlanForSnapshot(const std::string& sql,
   // created later).
   Result<sql::BoundStatement> bound = BindSql(sql, snap);
   if (!bound.ok()) return bound.status();
-  Result<PlanPtr> plan = PlanBound(*bound, options);
+  Result<PlanPtr> plan = PlanBound(*bound, options, snap);
   if (use_cache && plan.ok()) {
     // Record the base tables the plan reads at the versions the pinned
     // snapshot saw: the entry stays valid exactly as long as none of
@@ -471,9 +549,32 @@ Result<std::string> TemporalDB::ExplainAnalyze(const std::string& sql) const {
     ExecOptions exec;
     exec.num_threads = options_.num_threads;
     exec.use_timeline_index = options_.use_timeline_index;
-    if (exec.use_timeline_index) EnsureTimelineIndexes(*plan, snap);
+    exec.use_cost_model = options_.use_cost_model;
+    if (exec.use_timeline_index) {
+      EnsureTimelineIndexes(*plan, snap, options_.use_cost_model);
+    }
     Relation result = Execute(*plan, snap.catalog, exec, &stats);
-    return StrCat((*plan)->ToString(), stats.ToString(), "\n",
+    std::string rendered;
+    if (options_.use_cost_model) {
+      // Per-node estimated vs. actual cardinality.  Deterministic:
+      // estimates are a pure function of plan + snapshot statistics,
+      // actuals are looked up per node while the *plan walk* dictates
+      // the order (node_rows is never iterated).
+      CostModel cost(&snap.catalog, domain_);
+      PlanAnnotator annotate = [&](const class Plan& node) {
+        std::string suffix =
+            StrCat("  [est=", static_cast<int64_t>(cost.EstimateRows(node)));
+        auto it = stats.node_rows.find(&node);
+        if (it != stats.node_rows.end()) {
+          suffix = StrCat(suffix, " actual=", it->second);
+        }
+        return StrCat(suffix, "]");
+      };
+      rendered = (*plan)->ToString(0, annotate);
+    } else {
+      rendered = (*plan)->ToString();
+    }
+    return StrCat(rendered, stats.ToString(), "\n",
                   result.size(), " result rows\n");
   } catch (const std::exception& error) {
     // EngineError plus anything execution-adjacent (e.g. std::thread
@@ -495,8 +596,11 @@ Result<Relation> TemporalDB::Query(const std::string& sql,
     ExecOptions exec;
     exec.num_threads = options.num_threads;
     exec.use_timeline_index = options.use_timeline_index;
+    exec.use_cost_model = options.use_cost_model;
     // First indexed read builds the (per-snapshot, COW-shared) index.
-    if (exec.use_timeline_index) EnsureTimelineIndexes(*plan, snap);
+    if (exec.use_timeline_index) {
+      EnsureTimelineIndexes(*plan, snap, options.use_cost_model);
+    }
     return Execute(*plan, snap.catalog, exec);
   } catch (const std::exception& error) {
     // EngineError plus anything execution-adjacent (e.g. std::thread
@@ -524,8 +628,8 @@ Result<Relation> TemporalDB::Timeslice(const std::string& table,
       // replay, row-identical to the scan path below.  Build() returns
       // nullptr for unindexable tables (non-integer endpoints), which
       // keeps the scan path's diagnostics.
-      std::shared_ptr<const TimelineIndex> index =
-          EnsureTimelineIndex(table, begin_idx, end_idx, snap);
+      std::shared_ptr<const TimelineIndex> index = EnsureTimelineIndex(
+          table, begin_idx, end_idx, snap, options_.use_cost_model);
       if (index != nullptr) return index->Timeslice(t);
     }
     // Normalize the period columns into the trailing position, slice.

@@ -223,17 +223,24 @@ class TemporalDB {
   /// copy-on-write publication simply wins and the index stays
   /// snapshot-local).  Returns nullptr when the table cannot be indexed
   /// exactly (non-integer endpoints) — callers fall back to the scan.
+  /// `use_cost_model` sizes the checkpoint interval from the table's
+  /// statistics (CostModel::PickCheckpointInterval) instead of the
+  /// fixed default; either interval yields identical query results.
   std::shared_ptr<const TimelineIndex> EnsureTimelineIndex(
-      const std::string& table, int begin_col, int end_col,
-      Snapshot& snap) const PERIODK_EXCLUDES(catalog_mu_);
+      const std::string& table, int begin_col, int end_col, Snapshot& snap,
+      bool use_cost_model) const PERIODK_EXCLUDES(catalog_mu_);
   /// Ensures an index for every table the plan timeslices directly over
   /// a scan (the shape PushDownTimeslice produces for AS OF queries).
-  void EnsureTimelineIndexes(const PlanPtr& plan, Snapshot& snap) const;
+  void EnsureTimelineIndexes(const PlanPtr& plan, Snapshot& snap,
+                             bool use_cost_model) const;
 
   [[nodiscard]] Result<sql::BoundStatement> BindSql(
       const std::string& sql, const Snapshot& snap) const;
+  /// Plans a bound statement against `snap` (the snapshot supplies the
+  /// statistics the cost model reads when options.use_cost_model is on).
   [[nodiscard]] Result<PlanPtr> PlanBound(
-      const sql::BoundStatement& bound, const RewriteOptions& options) const;
+      const sql::BoundStatement& bound, const RewriteOptions& options,
+      const Snapshot& snap) const;
   /// Plans against the pinned snapshot, consulting/warming the cache.
   [[nodiscard]] Result<PlanPtr> PlanForSnapshot(
       const std::string& sql, const RewriteOptions& options,

@@ -88,7 +88,12 @@ std::string Plan::NodeLine() const {
       break;
     case PlanKind::kJoin:
       out += StrCat(" [", predicate->ToString(), "]");
-      if (join.overlap.has_value()) {
+      if (join_strategy == JoinStrategy::kNestedLoop) {
+        // Cost-model hint: the tiny-input nested loop replaces whatever
+        // the structural dispatch would pick (visible because the sweep
+        // and the nested loop emit rows in different orders).
+        out += " (nested loop: tiny inputs)";
+      } else if (join.overlap.has_value()) {
         out += join.equi_keys.empty() ? " (interval sweep)"
                                       : " (partitioned interval sweep)";
       } else if (!join.equi_keys.empty()) {
@@ -144,8 +149,9 @@ std::string Plan::NodeLine() const {
 void Plan::AppendTo(int indent,
                     const std::unordered_map<const Plan*, int>& refs,
                     std::unordered_map<const Plan*, int>& ids,
-                    std::string& out) const {
+                    const Annotator& annotate, std::string& out) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const std::string suffix = annotate == nullptr ? "" : annotate(*this);
   if (refs.at(this) > 1) {
     // Shared node: the first visit prints the full subtree tagged with a
     // DAG id; later visits print only a back reference, so EXPLAIN shows
@@ -157,20 +163,25 @@ void Plan::AppendTo(int indent,
                     ", see above]\n");
       return;
     }
-    out += StrCat(pad, NodeLine(), " [shared #", it->second, "]\n");
+    out += StrCat(pad, NodeLine(), " [shared #", it->second, "]", suffix,
+                  "\n");
   } else {
-    out += pad + NodeLine() + "\n";
+    out += StrCat(pad, NodeLine(), suffix, "\n");
   }
-  if (left != nullptr) left->AppendTo(indent + 1, refs, ids, out);
-  if (right != nullptr) right->AppendTo(indent + 1, refs, ids, out);
+  if (left != nullptr) left->AppendTo(indent + 1, refs, ids, annotate, out);
+  if (right != nullptr) right->AppendTo(indent + 1, refs, ids, annotate, out);
 }
 
 std::string Plan::ToString(int indent) const {
+  return ToString(indent, Annotator());
+}
+
+std::string Plan::ToString(int indent, const Annotator& annotate) const {
   std::unordered_map<const Plan*, int> refs;
   CountRefs(this, refs);
   std::unordered_map<const Plan*, int> ids;
   std::string out;
-  AppendTo(indent, refs, ids, out);
+  AppendTo(indent, refs, ids, annotate, out);
   return out;
 }
 

@@ -9,6 +9,7 @@
 #ifndef PERIODK_RA_PLAN_H_
 #define PERIODK_RA_PLAN_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -53,6 +54,17 @@ const char* PlanKindName(PlanKind kind);
 /// proposes as future work).
 enum class CoalesceImpl { kNative, kWindow };
 
+/// Physical-join hint for kJoin nodes.  kAuto leaves the choice to the
+/// executor's structural dispatch (sweep for overlap joins, hash for
+/// equi-keys, nested loop otherwise).  kNestedLoop forces the nested
+/// loop — the cost model (ra/cost_model.h) marks joins whose estimated
+/// input product is tiny, where sweep/hash setup costs more than the
+/// quadratic scan.  The hint is part of the plan (rendered by
+/// ToString) because the sweep's output *order* differs from the
+/// nested loop's, so the substitution must be a visible plan property,
+/// never a silent execution-time swap.
+enum class JoinStrategy { kAuto, kNestedLoop };
+
 /// One aggregate expression: func(arg) named `name`; arg is null for
 /// count(*).
 struct AggExpr {
@@ -84,6 +96,8 @@ class Plan {
   // executor picks the physical join from this instead of re-deriving
   // the predicate shape per execution.
   JoinAnalysis join;
+  // kJoin: cost-model hint overriding the structural dispatch above.
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
   std::vector<ExprPtr> exprs;                // kProject / kAggregate groups
   std::vector<AggExpr> aggs;                 // kAggregate, kSplitAggregate
   std::vector<int> split_group;    // kSplit / kSplitAggregate: group cols
@@ -111,12 +125,26 @@ class Plan {
   /// once, tagged `[shared #n]`, and referenced on later visits.
   std::string ToString(int indent = 0) const;
 
+  /// Per-node suffix appended to a node's line by the annotated
+  /// ToString overload (e.g. ExplainAnalyze's "est=... actual=...").
+  /// Must be deterministic for a given plan — the rendering order is
+  /// the tree walk, so annotator output is the only way nondeterminism
+  /// could leak into EXPLAIN text.
+  using Annotator = std::function<std::string(const Plan&)>;
+
+  /// ToString with a per-node annotation suffix.
+  std::string ToString(int indent, const Annotator& annotate) const;
+
  private:
   std::string NodeLine() const;
   void AppendTo(int indent, const std::unordered_map<const Plan*, int>& refs,
                 std::unordered_map<const Plan*, int>& ids,
-                std::string& out) const;
+                const Annotator& annotate, std::string& out) const;
 };
+
+/// Free-function alias; consumers (middleware ExplainAnalyze) name the
+/// callback type without spelling the nested name.
+using PlanAnnotator = Plan::Annotator;
 
 // --- Builders (compute output schemas, validate arities). ------------------
 

@@ -2,6 +2,7 @@
 
 #include "common/status.h"
 #include "common/str_util.h"
+#include "ra/cost_model.h"
 #include "rewrite/period_enc.h"
 
 namespace periodk {
@@ -36,13 +37,24 @@ PlanPtr Reorder(PlanPtr child, const std::vector<int>& keep) {
 }  // namespace
 
 SnapshotRewriter::SnapshotRewriter(TimeDomain domain, RewriteOptions options,
-                                   std::map<std::string, PlanPtr> encoded_tables)
+                                   std::map<std::string, PlanPtr> encoded_tables,
+                                   const CostModel* cost_model)
     : domain_(domain),
       options_(options),
-      encoded_tables_(std::move(encoded_tables)) {}
+      encoded_tables_(std::move(encoded_tables)),
+      cost_model_(cost_model) {}
 
 PlanPtr SnapshotRewriter::Rewrite(const PlanPtr& query) const {
-  PlanPtr rewritten = RewriteNode(query);
+  // Join reorder runs on the *snapshot* query, before REWR: the
+  // snapshot plan is where commutative join clusters are still plain
+  // (REWR interleaves coalescing and endpoint projections), and the
+  // cost model maps snapshot scans to stored-table statistics by
+  // column name.
+  PlanPtr q = query;
+  if (cost_model_ != nullptr && options_.use_cost_model) {
+    q = ReorderJoins(q, *cost_model_);
+  }
+  PlanPtr rewritten = RewriteNode(q);
   if (options_.semantics != SnapshotSemantics::kPeriodK ||
       !options_.final_coalesce) {
     return rewritten;

@@ -76,7 +76,17 @@ struct RewriteOptions {
   /// it never changes the produced plan (and is excluded from the
   /// plan-cache key); false keeps the O(table) scan path bit for bit.
   bool use_timeline_index = true;
+  /// Let the cost model (ra/cost_model.h) shape the plan: commutative
+  /// join clusters are reordered by estimated cardinality before REWR
+  /// and tiny overlap joins are marked for the nested loop.  Plan
+  /// *shaping* — reordering changes row order — so this is part of the
+  /// middleware's plan-cache key; false reproduces today's structural
+  /// plans bit-identically.  (The executor's row-identical gates are
+  /// the separate ExecOptions::use_cost_model.)
+  bool use_cost_model = true;
 };
+
+class CostModel;
 
 class SnapshotRewriter {
  public:
@@ -85,8 +95,14 @@ class SnapshotRewriter {
   /// table stores its interval columns somewhere other than the last
   /// two positions).  Unmapped scans default to the table itself with
   /// (a_begin, a_end) appended.
+  ///
+  /// `cost_model`, when non-null and options.use_cost_model is set,
+  /// drives a join-reorder pre-pass over the snapshot query (the
+  /// caller keeps the model alive for the rewriter's lifetime; the
+  /// middleware builds one per query over its pinned snapshot).
   SnapshotRewriter(TimeDomain domain, RewriteOptions options = {},
-                   std::map<std::string, PlanPtr> encoded_tables = {});
+                   std::map<std::string, PlanPtr> encoded_tables = {},
+                   const CostModel* cost_model = nullptr);
 
   /// Rewrites a snapshot query.  Result plan evaluates to the
   /// PERIODENC encoding of the query's N^T result (for kPeriodK; the
@@ -109,6 +125,7 @@ class SnapshotRewriter {
   TimeDomain domain_;
   RewriteOptions options_;
   std::map<std::string, PlanPtr> encoded_tables_;
+  const CostModel* cost_model_ = nullptr;
 };
 
 /// Pushes a top-level kTimeslice (the plan shape of SEQ VT AS OF t)

@@ -24,10 +24,12 @@
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "engine/executor.h"
+#include "ra/cost_model.h"
 #include "random_query.h"
 #include "rewrite/rewriter.h"
 #include "sql/transpile.h"
 #include "sqlite_oracle.h"
+#include "stats/table_stats.h"
 
 namespace periodk {
 namespace {
@@ -88,6 +90,21 @@ FuzzCase BuildCase(int seed) {
   options.final_coalesce = rng.Chance(0.7);
   options.coalesce_impl =
       rng.Chance(0.5) ? CoalesceImpl::kNative : CoalesceImpl::kWindow;
+  options.use_cost_model = rng.Chance(0.5);
+  if (options.use_cost_model) {
+    // Attach statistics so the cost model's join-reorder pre-pass sees
+    // real cardinalities (tables without stats estimate flat and keep
+    // the structural order).  The oracle compares multisets, so a
+    // reorder-induced row-order change is invisible to it.
+    for (const std::string& name : out.catalog.TableNames()) {
+      std::shared_ptr<const Relation> rel = out.catalog.GetShared(name);
+      // "p" stores its interval columns at (0, 2); "r"/"s" are
+      // PERIODENC with trailing endpoints.
+      int b = name == "p" ? 0 : static_cast<int>(rel->schema().size()) - 2;
+      int e = name == "p" ? 2 : static_cast<int>(rel->schema().size()) - 1;
+      out.catalog.PutStats(name, TableStats::Collect(rel, b, e));
+    }
+  }
 
   RandomQueryConfig qc;
   qc.null_literal_chance = 0.15;
@@ -99,7 +116,9 @@ FuzzCase BuildCase(int seed) {
   RandomQueryGenerator gen(&rng, qc);
   int depth = 3 + static_cast<int>(rng.Uniform(2));
   PlanPtr snapshot_query = gen.Generate(depth);
-  SnapshotRewriter rewriter(kDomain, options, {{"p", encoded_p}});
+  CostModel cost(&out.catalog, kDomain);
+  SnapshotRewriter rewriter(kDomain, options, {{"p", encoded_p}},
+                            options.use_cost_model ? &cost : nullptr);
   PlanPtr plan = rewriter.Rewrite(snapshot_query);
 
   std::string wrappers;
@@ -126,7 +145,7 @@ FuzzCase BuildCase(int seed) {
              " final_coalesce=", options.final_coalesce, " impl=",
              options.coalesce_impl == CoalesceImpl::kNative ? "native"
                                                             : "window",
-             " depth=", depth, wrappers);
+             " cost=", options.use_cost_model, " depth=", depth, wrappers);
   return out;
 }
 
