@@ -582,7 +582,11 @@ class ExecutionContext {
                                           : index->AliveAt(lo);
       for (uint32_t id : ids) keep[id] = 1;
     }
-    if (stats_ != nullptr) ++stats_->index_join_prunes;
+    if (stats_ != nullptr) {
+      ++stats_->index_join_prunes;
+      stats_->index_delta_events +=
+          static_cast<int64_t>(index->num_delta_events());
+    }
     return true;
   }
 
@@ -684,7 +688,11 @@ class ExecutionContext {
           if (index != nullptr && index->BuiltFor(in.get()) &&
               index->begin_col() == begin_col &&
               index->end_col() == end_col) {
-            if (stats_ != nullptr) ++stats_->index_timeslices;
+            if (stats_ != nullptr) {
+              ++stats_->index_timeslices;
+              stats_->index_delta_events +=
+                  static_cast<int64_t>(index->num_delta_events());
+            }
             return Own(index->Timeslice(plan->slice_time));
           }
         }
@@ -742,6 +750,7 @@ void ExecStats::Merge(const ExecStats& other) {
   rows_materialized += other.rows_materialized;
   parallel_tasks += other.parallel_tasks;
   index_timeslices += other.index_timeslices;
+  index_delta_events += other.index_delta_events;
   index_join_prunes += other.index_join_prunes;
   cost_nl_joins += other.cost_nl_joins;
   cost_gated_fanouts += other.cost_gated_fanouts;
@@ -754,6 +763,7 @@ std::string ExecStats::ToString() const {
                 ", rows materialized: ", rows_materialized,
                 ", parallel tasks: ", parallel_tasks,
                 ", index timeslices: ", index_timeslices,
+                ", index delta events: ", index_delta_events,
                 ", index join prunes: ", index_join_prunes,
                 ", cost nl joins: ", cost_nl_joins,
                 ", cost gated fan-outs: ", cost_gated_fanouts);

@@ -120,6 +120,11 @@ struct ExecStats {
   /// kTimeslice nodes answered from a timeline index instead of the
   /// O(table) scan (shown by TemporalDB::ExplainAnalyze as index hits).
   int64_t index_timeslices = 0;
+  /// Differential-layer events consulted by indexed lookups: the sum of
+  /// the delta sizes of every index answered from (0 when each index
+  /// was fully compacted).  Measures how much uncompacted write traffic
+  /// a read crossed — see TemporalDB's IndexMaintenanceOptions.
+  int64_t index_delta_events = 0;
   /// Interval-join sides whose sweep input was pre-filtered with
   /// TimelineIndex::AliveInRange candidates (rows provably outside the
   /// opposite side's endpoint span skip the sweep).

@@ -33,6 +33,45 @@ std::shared_ptr<const TimelineIndex> TimelineIndex::Build(
 std::shared_ptr<const TimelineIndex> TimelineIndex::Build(
     std::shared_ptr<const Relation> source, int begin_col, int end_col,
     int64_t checkpoint_interval) {
+  return BuildFrom(std::move(source), begin_col, end_col, checkpoint_interval,
+                   /*first_row=*/0);
+}
+
+std::shared_ptr<const TimelineIndex> TimelineIndex::WithDelta(
+    std::shared_ptr<const TimelineIndex> base,
+    std::shared_ptr<const Relation> source) {
+  if (base == nullptr || source == nullptr) return nullptr;
+  // Flatten: keep the compacted core and re-derive one delta over every
+  // row appended since it was built.
+  std::shared_ptr<const TimelineIndex> core =
+      base->base_ != nullptr ? base->base_ : std::move(base);
+  size_t first_row = core->source_->size();
+  if (source->schema().size() != core->source_->schema().size() ||
+      source->size() < first_row) {
+    return nullptr;  // not a copy-on-write append of core's relation
+  }
+  // The delta reuses the core's checkpoint interval, so even an
+  // uncompacted lookup replays at most K - 1 events per layer.
+  std::shared_ptr<const TimelineIndex> delta =
+      BuildFrom(source, core->begin_col_, core->end_col_,
+                core->checkpoint_interval_, first_row);
+  if (delta == nullptr) return nullptr;  // unindexable appended endpoints
+  auto index = std::shared_ptr<TimelineIndex>(new TimelineIndex());
+  index->source_ = std::move(source);
+  index->begin_col_ = core->begin_col_;
+  index->end_col_ = core->end_col_;
+  index->checkpoint_interval_ = core->checkpoint_interval_;
+  index->out_schema_ = core->out_schema_;
+  index->keep_cols_ = core->keep_cols_;
+  index->delta_first_row_ = first_row;
+  index->base_ = std::move(core);
+  index->delta_ = std::move(delta);
+  return index;
+}
+
+std::shared_ptr<const TimelineIndex> TimelineIndex::BuildFrom(
+    std::shared_ptr<const Relation> source, int begin_col, int end_col,
+    int64_t checkpoint_interval, size_t first_row) {
   if (source == nullptr) return nullptr;
   int arity = static_cast<int>(source->schema().size());
   if (begin_col < 0 || end_col < 0 || begin_col >= arity ||
@@ -76,8 +115,8 @@ std::shared_ptr<const TimelineIndex> TimelineIndex::Build(
   }
   if (fast_b != nullptr) {
     size_t n = source->size();
-    index->events_.reserve(n * 2);
-    for (size_t i = 0; i < n; ++i) {
+    index->events_.reserve((n - first_row) * 2);
+    for (size_t i = first_row; i < n; ++i) {
       TimePoint b = fast_b[i];
       TimePoint e = fast_e[i];
       if (b >= e) continue;  // empty validity: never alive, like the scan
@@ -88,8 +127,8 @@ std::shared_ptr<const TimelineIndex> TimelineIndex::Build(
     // periodk-lint: columnar-lane-end(timeline-build)
   } else {
     const std::vector<Row>& rows = source->rows();
-    index->events_.reserve(rows.size() * 2);
-    for (size_t i = 0; i < rows.size(); ++i) {
+    index->events_.reserve((rows.size() - first_row) * 2);
+    for (size_t i = first_row; i < rows.size(); ++i) {
       const Value& bv = rows[i][static_cast<size_t>(begin_col)];
       const Value& ev = rows[i][static_cast<size_t>(end_col)];
       // The scan path (TimesliceEncoded) throws on non-integer
@@ -147,6 +186,14 @@ bool TimelineIndex::ColumnsAreTrailing() const {
 /// alive set at t is exactly
 ///   { r in base : r not removed } union { r added : r not removed }.
 std::vector<uint32_t> TimelineIndex::AliveAt(TimePoint t) const {
+  if (base_ != nullptr) {
+    // Every base id is below delta_first_row_ and every delta id at or
+    // above it, so concatenation is the sorted merge.
+    std::vector<uint32_t> out = base_->AliveAt(t);
+    std::vector<uint32_t> delta = delta_->AliveAt(t);
+    out.insert(out.end(), delta.begin(), delta.end());
+    return out;
+  }
   // Events with time <= t are applied; upper_bound gives their count.
   size_t pos = static_cast<size_t>(
       std::upper_bound(event_times_.begin(), event_times_.end(), t) -
@@ -189,6 +236,14 @@ std::vector<uint32_t> TimelineIndex::AliveAt(TimePoint t) const {
 std::vector<uint32_t> TimelineIndex::AliveInRange(TimePoint b,
                                                   TimePoint e) const {
   if (b >= e) return {};
+  if (base_ != nullptr) {
+    // Same id-partition argument as AliveAt: concat keeps the contract
+    // that candidates come back ascending.
+    std::vector<uint32_t> out = base_->AliveInRange(b, e);
+    std::vector<uint32_t> delta = delta_->AliveInRange(b, e);
+    out.insert(out.end(), delta.begin(), delta.end());
+    return out;
+  }
   // A row overlaps [b, e) iff begin < e and end > b.  Rows with
   // begin <= b are overlapping iff alive at b; the rest start inside
   // (b, e).  The two sets are disjoint, so one sorted merge suffices.

@@ -21,6 +21,18 @@
 // `BuiltFor`).  The executor routes kTimeslice-over-kScan through it
 // when the catalog carries one (ExecOptions::use_timeline_index), and
 // the middleware builds it lazily on the first indexed read.
+//
+// Differential layer (rdf3x-style DifferentialIndex): a copy-on-write
+// append publishes a new Relation whose prefix rows are value-identical
+// to the old one, so instead of rebuilding, `WithDelta` wraps the old
+// index (the *base*) together with a small index built over only the
+// appended rows (the *delta*, with absolute row ids).  Lookups merge
+// the two answers: base ids are all smaller than delta ids, so the
+// merged alive set stays sorted and Timeslice's projection is untouched.
+// Chained appends flatten — the base of a delta-carrying index never
+// itself carries a delta — and the delta is checkpointed like the base,
+// so replay stays bounded by K even before compaction folds the delta
+// into a fresh full index (see TemporalDB's IndexMaintenanceOptions).
 #ifndef PERIODK_ENGINE_TIMELINE_INDEX_H_
 #define PERIODK_ENGINE_TIMELINE_INDEX_H_
 
@@ -64,6 +76,23 @@ class TimelineIndex {
       std::shared_ptr<const Relation> source, int begin_col, int end_col,
       int64_t checkpoint_interval = kDefaultCheckpointInterval);
 
+  /// Differential wrap: an index for `source` that answers from `base`
+  /// plus a delta built over only the appended row range — O(appended)
+  /// instead of O(table).  Preconditions checked (nullptr returned on
+  /// violation, so callers fall back to a full build or the scan):
+  /// `source` must have the same arity as base's relation, at least as
+  /// many rows (the copy-on-write append contract: prefix rows are
+  /// value-identical), and integer endpoints in every appended row.
+  /// When `base` already carries a delta, the chain flattens: the new
+  /// index keeps base's *core* and re-derives one delta covering every
+  /// row appended since the core was built (still O(total delta), which
+  /// the compaction threshold bounds).  Zero appended rows are valid
+  /// and yield an empty delta.
+  /// Thread-safety: pure; the result is immutable like Build's.
+  static std::shared_ptr<const TimelineIndex> WithDelta(
+      std::shared_ptr<const TimelineIndex> base,
+      std::shared_ptr<const Relation> source);
+
   /// True iff the index was built from exactly this Relation object.
   /// Catalog mutations publish new Relation objects (copy-on-write), so
   /// pointer identity proves the index is current.
@@ -79,8 +108,29 @@ class TimelineIndex {
   int begin_col() const { return begin_col_; }
   int end_col() const { return end_col_; }
   int64_t checkpoint_interval() const { return checkpoint_interval_; }
-  size_t num_events() const { return events_.size(); }
-  size_t num_checkpoints() const { return checkpoints_.size(); }
+  /// Total events answered from, base and delta combined.
+  size_t num_events() const {
+    return base_ != nullptr ? base_->events_.size() + delta_->events_.size()
+                            : events_.size();
+  }
+  size_t num_checkpoints() const {
+    return base_ != nullptr
+               ? base_->checkpoints_.size() + delta_->checkpoints_.size()
+               : checkpoints_.size();
+  }
+  /// True iff this index answers through a differential delta (built by
+  /// WithDelta and not yet compacted into a full index).
+  bool has_delta() const { return base_ != nullptr; }
+  /// Events in the delta layer; 0 for a fully compacted index.  The
+  /// writer's compaction threshold and ExecStats::index_delta_events
+  /// both read this.
+  size_t num_delta_events() const {
+    return delta_ != nullptr ? delta_->events_.size() : 0;
+  }
+  /// The fully compacted core a differential index answers from
+  /// (nullptr when this index has no delta).  Exposed so tests can pin
+  /// the flattening invariant: a base never itself carries a delta.
+  std::shared_ptr<const TimelineIndex> base() const { return base_; }
 
   /// Row ids (ascending) of rows alive at t: begin <= t < end.  Pure
   /// comparisons — any int64 t is safe, including domain bounds.
@@ -103,6 +153,12 @@ class TimelineIndex {
 
  private:
   TimelineIndex() = default;
+
+  /// Build over rows [first_row, source->size()) with absolute row ids;
+  /// Build is the first_row = 0 case, WithDelta's delta the rest.
+  static std::shared_ptr<const TimelineIndex> BuildFrom(
+      std::shared_ptr<const Relation> source, int begin_col, int end_col,
+      int64_t checkpoint_interval, size_t first_row);
 
   struct Event {
     TimePoint time = 0;
@@ -127,6 +183,15 @@ class TimelineIndex {
   // within [b, e)" lookup.
   std::vector<TimePoint> begin_times_;
   std::vector<uint32_t> begin_rows_;
+  // Differential layer (both set or both null; see WithDelta).  When
+  // set, this object's own event/checkpoint vectors are empty and every
+  // lookup concatenates base answers (ids < delta_first_row_) with
+  // delta answers (ids >= delta_first_row_).  base_ is always a core:
+  // base_->base_ == nullptr.
+  std::shared_ptr<const TimelineIndex> base_;
+  std::shared_ptr<const TimelineIndex> delta_;
+  // First row id the delta covers == base_'s relation row count.
+  size_t delta_first_row_ = 0;
 };
 
 }  // namespace periodk

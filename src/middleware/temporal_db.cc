@@ -1,5 +1,6 @@
 #include "middleware/temporal_db.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -59,6 +60,12 @@ std::string PlanCacheStats::ToString() const {
                 invalidations, " invalidations, ", entries, " entries");
 }
 
+std::string IndexMaintenanceStats::ToString() const {
+  return StrCat("index maintenance: ", delta_publishes, " delta publishes, ",
+                compactions, " compactions, ", background_compactions,
+                " background compactions");
+}
+
 TemporalDB::TemporalDB(TemporalDB&& other)
     : domain_(other.domain_), options_(other.options_) {
   // Steal the guarded state under other's locks, in the serving path's
@@ -73,14 +80,133 @@ TemporalDB::TemporalDB(TemporalDB&& other)
   catalog_generation_ = other.catalog_generation_;
   table_versions_ = std::move(other.table_versions_);
   columnar_storage_ = other.columnar_storage_;
+  index_maintenance_ = other.index_maintenance_;
+  {
+    MutexLock maintenance_lock(other.maintenance_mu_);
+    maintenance_stats_ = other.maintenance_stats_;
+  }
+  // compaction_pool_ stays with `other`: its in-flight tasks captured
+  // `other`'s `this` and drain against the (now empty) moved-from
+  // catalog, where every generation-tag check fails harmlessly.
   plan_cache_enabled_ = other.plan_cache_enabled_;
   plan_cache_ = std::move(other.plan_cache_);
   cache_stats_ = other.cache_stats_;
 }
 
+TemporalDB::~TemporalDB() {
+  // Serialize with writers so no new compaction can be scheduled, then
+  // wait out the in-flight ones: their tasks dereference this object.
+  MutexLock writer_lock(writer_mu_);
+  if (compaction_pool_ != nullptr) compaction_pool_->Drain();
+}
+
+IndexMaintenanceStats TemporalDB::index_maintenance_stats() const {
+  MutexLock lock(maintenance_mu_);
+  return maintenance_stats_;
+}
+
+void TemporalDB::WaitForIndexMaintenance() {
+  MutexLock writer_lock(writer_mu_);
+  if (compaction_pool_ != nullptr) compaction_pool_->Drain();
+}
+
 // --- Writers.  All serialize on writer_mu_, build new table state
 // outside the reader lock, and publish with a brief exclusive lock so
 // readers only ever block for a pointer swap. -------------------------------
+
+TemporalDB::AppendIndexPlan TemporalDB::PlanAppendIndex(
+    const std::shared_ptr<const Relation>& old_relation,
+    const std::shared_ptr<const TimelineIndex>& old_index,
+    const std::shared_ptr<const Relation>& next,
+    const std::shared_ptr<const TableStats>& next_stats, int begin_idx,
+    int end_idx) const {
+  AppendIndexPlan plan;
+  if (!index_maintenance_.maintain_indexes || old_index == nullptr) {
+    return plan;  // nothing to maintain: the slot drops, reads rebuild
+  }
+  // Only a current index over exactly the columns the period metadata
+  // names can be extended; anything else (a racing layout change, a
+  // hand-attached index) is dropped like before.
+  if (!old_index->BuiltFor(old_relation.get()) ||
+      old_index->begin_col() != begin_idx ||
+      old_index->end_col() != end_idx) {
+    return plan;
+  }
+  plan.index = TimelineIndex::WithDelta(old_index, next);
+  if (plan.index == nullptr) return plan;  // unindexable appended rows
+  // Threshold: ratio of the compacted core, clamped.  The delta is
+  // checkpointed too, so this bounds memory/merge overhead rather than
+  // correctness or per-lookup replay.
+  int64_t base_events = static_cast<int64_t>(plan.index->num_events() -
+                                             plan.index->num_delta_events());
+  int64_t threshold = static_cast<int64_t>(
+      index_maintenance_.compaction_ratio * static_cast<double>(base_events));
+  threshold = std::clamp(threshold, index_maintenance_.min_compaction_events,
+                         index_maintenance_.max_compaction_events);
+  bool compact =
+      static_cast<int64_t>(plan.index->num_delta_events()) >= threshold;
+  // Checkpoint-K for the folded index comes from the fresh statistics
+  // when the cost model is on, like the lazy build path.
+  plan.checkpoint_interval = TimelineIndex::kDefaultCheckpointInterval;
+  if (options_.use_cost_model && next_stats != nullptr &&
+      next_stats->BuiltFor(next.get())) {
+    plan.checkpoint_interval = CostModel::PickCheckpointInterval(*next_stats);
+  }
+  if (compact && !index_maintenance_.background_compaction) {
+    std::shared_ptr<const TimelineIndex> folded = TimelineIndex::Build(
+        next, begin_idx, end_idx, plan.checkpoint_interval);
+    if (folded != nullptr) {
+      plan.index = std::move(folded);
+      MutexLock lock(maintenance_mu_);
+      ++maintenance_stats_.compactions;
+      return plan;
+    }
+  }
+  plan.compact_in_background =
+      compact && index_maintenance_.background_compaction;
+  MutexLock lock(maintenance_mu_);
+  ++maintenance_stats_.delta_publishes;
+  return plan;
+}
+
+void TemporalDB::ScheduleBackgroundCompaction(
+    const std::string& table, std::shared_ptr<const Relation> relation,
+    int begin_idx, int end_idx, int64_t checkpoint_interval,
+    uint64_t published_version) {
+  {
+    // One in-flight rebuild per table: a burst of appends keeps growing
+    // the delta and re-arms once the current rebuild settles.
+    MutexLock lock(maintenance_mu_);
+    if (!pending_compactions_.insert(table).second) return;
+  }
+  if (compaction_pool_ == nullptr) {
+    compaction_pool_ = std::make_unique<ThreadPool>(2);
+  }
+  compaction_pool_->Post([this, table, relation = std::move(relation),
+                          begin_idx, end_idx, checkpoint_interval,
+                          published_version] {
+    // Build outside every lock — the expensive part.
+    std::shared_ptr<const TimelineIndex> folded = TimelineIndex::Build(
+        relation, begin_idx, end_idx, checkpoint_interval);
+    bool published = false;
+    if (folded != nullptr) {
+      // Double-checked publication under the generation tag, like the
+      // lazy read-side build: the folded index replaces the delta index
+      // only while the table is still the exact published state it was
+      // built from; any later append's publication wins.
+      SharedMutexLock lock(catalog_mu_);
+      auto version = table_versions_.find(table);
+      if (version != table_versions_.end() &&
+          version->second == published_version) {
+        catalog_.PutIndex(table, folded);
+        published = true;
+      }
+    }
+    MutexLock lock(maintenance_mu_);
+    if (published) ++maintenance_stats_.background_compactions;
+    pending_compactions_.erase(table);
+  });
+}
 
 Status TemporalDB::CreateTable(const std::string& name,
                                const std::vector<std::string>& columns) {
@@ -183,6 +309,7 @@ Status TemporalDB::PutPeriodTable(const std::string& name, Relation relation,
 Status TemporalDB::Insert(const std::string& table, Row row) {
   MutexLock writer_lock(writer_mu_);
   std::shared_ptr<const Relation> current;
+  std::shared_ptr<const TimelineIndex> old_index;
   int begin_idx = -1;
   int end_idx = -1;
   {
@@ -191,6 +318,7 @@ Status TemporalDB::Insert(const std::string& table, Row row) {
       return Status::NotFound(StrCat("unknown table: ", table));
     }
     current = catalog_.GetShared(table);
+    old_index = catalog_.GetIndex(table);
     auto pt = period_tables_.find(table);
     if (pt != period_tables_.end()) {
       begin_idx = current->schema().Find("", pt->second.begin_column);
@@ -208,14 +336,31 @@ Status TemporalDB::Insert(const std::string& table, Row row) {
   next.AddRow(std::move(row));
   if (columnar_storage_) next.ToColumnar();
   PublishedTable pub = PrepareTable(std::move(next), begin_idx, end_idx);
+  // Index maintenance rides the same copy-on-write publication: the old
+  // index plus the appended row become a differential index (or, past
+  // the threshold, a freshly folded one) — still outside the locks.
+  AppendIndexPlan index_plan = PlanAppendIndex(
+      current, old_index, pub.relation, pub.stats, begin_idx, end_idx);
+  uint64_t published_version = 0;
   {
     SharedMutexLock lock(catalog_mu_);
-    catalog_.PutShared(table, std::move(pub.relation));
+    catalog_.PutShared(table, pub.relation);
     catalog_.PutStats(table, std::move(pub.stats));
+    // PutShared dropped the index slot; restore the maintained index in
+    // the same critical section so no reader observes the gap.
+    if (index_plan.index != nullptr) {
+      catalog_.PutIndex(table, index_plan.index);
+    }
     ++catalog_generation_;
     table_versions_[table] = catalog_generation_;
+    published_version = catalog_generation_;
   }
   InvalidatePlanCacheForTable(table);
+  if (index_plan.compact_in_background) {
+    ScheduleBackgroundCompaction(table, pub.relation, begin_idx, end_idx,
+                                 index_plan.checkpoint_interval,
+                                 published_version);
+  }
   return Status::OK();
 }
 
@@ -223,6 +368,7 @@ Status TemporalDB::InsertRows(const std::string& table,
                               std::vector<Row> rows) {
   MutexLock writer_lock(writer_mu_);
   std::shared_ptr<const Relation> current;
+  std::shared_ptr<const TimelineIndex> old_index;
   int begin_idx = -1;
   int end_idx = -1;
   {
@@ -231,6 +377,7 @@ Status TemporalDB::InsertRows(const std::string& table,
       return Status::NotFound(StrCat("unknown table: ", table));
     }
     current = catalog_.GetShared(table);
+    old_index = catalog_.GetIndex(table);
     auto pt = period_tables_.find(table);
     if (pt != period_tables_.end()) {
       begin_idx = current->schema().Find("", pt->second.begin_column);
@@ -252,14 +399,26 @@ Status TemporalDB::InsertRows(const std::string& table,
   for (Row& row : rows) next.AddRow(std::move(row));
   if (columnar_storage_) next.ToColumnar();
   PublishedTable pub = PrepareTable(std::move(next), begin_idx, end_idx);
+  AppendIndexPlan index_plan = PlanAppendIndex(
+      current, old_index, pub.relation, pub.stats, begin_idx, end_idx);
+  uint64_t published_version = 0;
   {
     SharedMutexLock lock(catalog_mu_);
-    catalog_.PutShared(table, std::move(pub.relation));
+    catalog_.PutShared(table, pub.relation);
     catalog_.PutStats(table, std::move(pub.stats));
+    if (index_plan.index != nullptr) {
+      catalog_.PutIndex(table, index_plan.index);
+    }
     ++catalog_generation_;
     table_versions_[table] = catalog_generation_;
+    published_version = catalog_generation_;
   }
   InvalidatePlanCacheForTable(table);
+  if (index_plan.compact_in_background) {
+    ScheduleBackgroundCompaction(table, pub.relation, begin_idx, end_idx,
+                                 index_plan.checkpoint_interval,
+                                 published_version);
+  }
   return Status::OK();
 }
 
@@ -574,7 +733,12 @@ Result<std::string> TemporalDB::ExplainAnalyze(const std::string& sql) const {
     } else {
       rendered = (*plan)->ToString();
     }
+    // The execution counters carry the per-run delta replay
+    // (index delta events); the maintenance line adds the DB-lifetime
+    // write-path view (delta publishes / compactions) so an operator
+    // can see whether a slow AS-OF is riding an uncompacted delta.
     return StrCat(rendered, stats.ToString(), "\n",
+                  index_maintenance_stats().ToString(), "\n",
                   result.size(), " result rows\n");
   } catch (const std::exception& error) {
     // EngineError plus anything execution-adjacent (e.g. std::thread

@@ -21,6 +21,12 @@ struct RandomQueryConfig {
   double null_literal_chance = 0.0;  // NULL literals in scalars/predicates
   double union_dup_chance = 0.0;     // UNION ALL of one shared subplan
   double period_scan_chance = 0.0;   // scan leaves over period table "p"
+  // Mid-sequence writes for the differential fuzzer: with this chance a
+  // fuzz case carries per-table insert batches to apply *between* query
+  // evaluations, so the oracle also validates post-write indexed reads
+  // (the rows ride RandomAppendRows below).  Consulted only by drivers
+  // that opt in; like every knob, zero draws no random numbers.
+  double mid_insert_chance = 0.0;
 };
 
 class RandomQueryGenerator {
@@ -182,6 +188,38 @@ inline PlanPtr AddRandomPeriodTable(Rng* rng, Catalog* catalog,
   }
   catalog->Put("p", std::move(rel));
   return MakeProjectColumns(MakeScan("p", stored), {1, 3, 0, 2});
+}
+
+/// Random rows shaped for the fuzzer's tables: the trailing-endpoint
+/// layout of RandomEncodedCatalog's "r"/"s" ({a, b, a_begin, a_end}),
+/// or AddRandomPeriodTable's stored "p" layout ({a_begin, a, a_end, b})
+/// when `period_layout` is set.  Same value distribution as the table
+/// generators, so mid-sequence appends (RandomQueryConfig::
+/// mid_insert_chance) extend a table without skewing it.  Callers
+/// invoke this only after the knob fired, keeping zero-knob seed
+/// streams bit-identical.
+inline std::vector<Row> RandomAppendRows(Rng* rng, const TimeDomain& domain,
+                                         bool period_layout, int count,
+                                         double null_chance = 0.0,
+                                         double empty_validity_chance = 0.0) {
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    TimePoint b = rng->Range(domain.tmin, domain.tmax - 2);
+    TimePoint e = rng->Chance(empty_validity_chance)
+                      ? rng->Range(domain.tmin, b)
+                      : rng->Range(b + 1, domain.tmax - 1);
+    auto data = [&] {
+      return rng->Chance(null_chance) ? Value::Null()
+                                      : Value::Int(rng->Range(0, 3));
+    };
+    if (period_layout) {
+      rows.push_back({Value::Int(b), data(), Value::Int(e), data()});
+    } else {
+      rows.push_back({data(), data(), Value::Int(b), Value::Int(e)});
+    }
+  }
+  return rows;
 }
 
 /// Random snapshot K-relation with `max_tuples` distinct tuples, each

@@ -61,13 +61,54 @@ class SharedCounter {
   int64_t value_ PERIODK_GUARDED_BY(mu_) = 0;
 };
 
+// Model of the catalog's index-slot publish protocol (differential
+// index maintenance): the slot is guarded by the catalog's SharedMutex,
+// and a background compaction may only publish its folded index while
+// holding that lock exclusively (double-checked against the generation
+// tag).  With -DPERIODK_SEED_TS_COMPACTION_VIOLATION the publish skips
+// the lock -- exactly the race a miswritten compaction task would
+// introduce -- and -Wthread-safety must reject the unit (WILL_FAIL).
+class IndexSlot {
+ public:
+  void ReaderConsult(int64_t* out) const {
+    SharedReaderLock lock(catalog_mu_);
+    *out = slot_ + generation_;
+  }
+
+  void PublishCompacted(int64_t built_for_generation, int64_t index) {
+#ifdef PERIODK_SEED_TS_COMPACTION_VIOLATION
+    // Unlocked publish: races every reader and writer on the slot.
+    if (generation_ == built_for_generation) slot_ = index;
+#else
+    SharedMutexLock lock(catalog_mu_);
+    if (generation_ == built_for_generation) slot_ = index;
+#endif
+  }
+
+  void WriterAppend(int64_t delta_index) {
+    SharedMutexLock lock(catalog_mu_);
+    slot_ = delta_index;
+    generation_ += 1;
+  }
+
+ private:
+  mutable SharedMutex catalog_mu_;
+  int64_t slot_ PERIODK_GUARDED_BY(catalog_mu_) = 0;
+  int64_t generation_ PERIODK_GUARDED_BY(catalog_mu_) = 0;
+};
+
 // Odr-use the probes so the definitions are fully analyzed.
 int64_t Drive() {
   Counter c;
   c.Increment();
   SharedCounter s;
   s.Set(c.Read());
-  return s.Get() + c.Touch();
+  IndexSlot slot;
+  slot.WriterAppend(1);
+  slot.PublishCompacted(1, 2);
+  int64_t consulted = 0;
+  slot.ReaderConsult(&consulted);
+  return s.Get() + c.Touch() + consulted;
 }
 
 int64_t sink = Drive();

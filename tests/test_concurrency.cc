@@ -178,5 +178,102 @@ TEST(ConcurrencyTest, PlanCacheToggleRacesStayConsistent) {
   db.set_plan_cache_enabled(true);
 }
 
+// Differential index maintenance under contention: reader threads issue
+// indexed timeslices (both the SQL AS-OF route and the Timeslice entry
+// point) while a writer streams inserts and background compactions race
+// the whole time.  Each insert publishes relation + delta index in one
+// exclusive section, so the snapshot count invariant (floor from
+// completed inserts, ceiling from started ones) must hold on every
+// schedule; after draining maintenance, the settled index must agree
+// with the scan path row-for-row.
+TEST(ConcurrencyTest, IndexedReadsRaceStreamingWritesAndCompaction) {
+  TemporalDB db(TimeDomain{0, 1000});
+  IndexMaintenanceOptions maint;
+  maint.background_compaction = true;
+  // A tiny threshold keeps compactions racing throughout the run.
+  maint.min_compaction_events = 16;
+  maint.max_compaction_events = 16;
+  db.set_index_maintenance(maint);
+  ASSERT_TRUE(
+      db.CreatePeriodTable("t", {"v", "ts", "te"}, "ts", "te").ok());
+  // Warm the index so every append maintains it differentially instead
+  // of just dropping the slot.  (The Timeslice entry point, not an
+  // aggregate query: a timeslice above SplitAggregate is not indexable.)
+  ASSERT_TRUE(db.Timeslice("t", 50).ok());
+  ASSERT_NE(db.catalog().GetIndex("t"), nullptr);
+
+  constexpr int kInserts = 200;
+  constexpr int kReaders = 3;
+  std::atomic<int> started{0};
+  std::atomic<int> completed{0};
+  std::atomic<bool> failed{false};
+
+  std::thread writer([&] {
+    for (int i = 0; i < kInserts; ++i) {
+      started.fetch_add(1);
+      Status status =
+          db.Insert("t", {Value::Int(i), Value::Int(0), Value::Int(100)});
+      if (!status.ok()) {
+        failed.store(true);
+        return;
+      }
+      completed.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      const std::string seq = "SEQ VT AS OF 50 (SELECT v FROM t)";
+      for (int q = 0; q < 120; ++q) {
+        int floor = completed.load();
+        int64_t n;
+        if (q % 2 == 0) {
+          auto result = db.Query(seq);
+          int ceiling = started.load();
+          if (!result.ok()) {
+            ADD_FAILURE() << "reader " << r << ": "
+                          << result.status().ToString();
+            failed.store(true);
+            return;
+          }
+          n = static_cast<int64_t>(result->size());
+          EXPECT_LE(n, ceiling) << "reader " << r << " query " << q;
+        } else {
+          auto slice = db.Timeslice("t", 50);
+          int ceiling = started.load();
+          if (!slice.ok()) {
+            ADD_FAILURE() << "reader " << r << ": "
+                          << slice.status().ToString();
+            failed.store(true);
+            return;
+          }
+          n = static_cast<int64_t>(slice->size());
+          EXPECT_LE(n, ceiling) << "reader " << r << " slice " << q;
+        }
+        // Every inserted row is valid at time 50, so any snapshot's
+        // timeslice counts exactly its inserts — delta layer included.
+        EXPECT_GE(n, floor) << "reader " << r << " query " << q;
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+
+  db.WaitForIndexMaintenance();
+  auto indexed = db.Timeslice("t", 50);
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_EQ(indexed->size(), static_cast<size_t>(kInserts));
+  RewriteOptions scan_opts = db.options();
+  scan_opts.use_timeline_index = false;
+  scan_opts.push_down_timeslice = false;
+  auto scanned =
+      db.Query("SEQ VT AS OF 50 (SELECT v FROM t)", scan_opts);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(scanned->size(), indexed->size());
+  IndexMaintenanceStats stats = db.index_maintenance_stats();
+  EXPECT_GT(stats.delta_publishes, 0) << stats.ToString();
+}
+
 }  // namespace
 }  // namespace periodk

@@ -24,6 +24,7 @@
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "engine/executor.h"
+#include "engine/timeline_index.h"
 #include "ra/cost_model.h"
 #include "random_query.h"
 #include "rewrite/rewriter.h"
@@ -61,14 +62,17 @@ Relation ColumnarEngine(const PlanPtr& plan, const Catalog& catalog) {
   return Execute(plan, columnar, ExecOptions{});
 }
 
-/// One generated differential case: data + rewritten multiset plan.
+/// One generated differential case: data + rewritten multiset plan,
+/// plus (when the mid_insert_chance knob is on) per-table append
+/// batches to apply *between* query evaluations.
 struct FuzzCase {
   Catalog catalog;
   PlanPtr plan;
   std::string description;
+  std::map<std::string, std::vector<Row>> mid_inserts;
 };
 
-FuzzCase BuildCase(int seed) {
+FuzzCase BuildCase(int seed, double mid_insert_chance = 0.0) {
   Rng rng(static_cast<uint64_t>(seed) * 0x9e3779b97f4a7c15ULL + 0x5107ab);
   FuzzCase out;
   out.catalog = RandomEncodedCatalog(&rng, kDomain, /*max_rows=*/10,
@@ -110,6 +114,7 @@ FuzzCase BuildCase(int seed) {
   qc.null_literal_chance = 0.15;
   qc.union_dup_chance = 0.2;
   qc.period_scan_chance = 0.25;
+  qc.mid_insert_chance = mid_insert_chance;
   // Snapshot difference is N/A under Teradata semantics (Table 1).
   qc.allow_difference = options.semantics != SnapshotSemantics::kTeradata;
 
@@ -146,7 +151,51 @@ FuzzCase BuildCase(int seed) {
              options.coalesce_impl == CoalesceImpl::kNative ? "native"
                                                             : "window",
              " cost=", options.use_cost_model, " depth=", depth, wrappers);
+  // Mid-sequence insert batches are drawn *last*, so a zero-valued knob
+  // leaves every existing seed's plan/data stream bit-identical.
+  if (qc.mid_insert_chance > 0) {
+    for (const char* name : {"r", "s", "p"}) {
+      if (!rng.Chance(qc.mid_insert_chance)) continue;
+      int count = 1 + static_cast<int>(rng.Uniform(4));
+      out.mid_inserts[name] = RandomAppendRows(
+          &rng, kDomain, /*period_layout=*/std::string(name) == "p", count,
+          /*null_chance=*/0.15, /*empty_validity_chance=*/0.15);
+    }
+    if (!out.mid_inserts.empty()) out.description += " +mid-inserts";
+  }
   return out;
+}
+
+/// Applies a case's mid-sequence inserts the way the middleware's write
+/// path does: copy-on-write append, then attach a differential
+/// (WithDelta) timeline index built from the pre-insert index, so the
+/// executor's indexed routes serve post-write reads through the delta.
+/// Returns the names of the tables that grew.
+std::vector<std::string> ApplyMidInsertsWithIndexes(FuzzCase* c) {
+  std::vector<std::string> grown;
+  for (const auto& [table, rows] : c->mid_inserts) {
+    std::shared_ptr<const Relation> old_rel = c->catalog.GetShared(table);
+    int arity = static_cast<int>(old_rel->schema().size());
+    // "p" stores its interval columns at (0, 2); "r"/"s" are PERIODENC
+    // with trailing endpoints (same mapping as the stats attachment).
+    int b = table == "p" ? 0 : arity - 2;
+    int e = table == "p" ? 2 : arity - 1;
+    std::shared_ptr<const TimelineIndex> old_index =
+        TimelineIndex::Build(old_rel, b, e);
+    Relation next = *old_rel;
+    for (const Row& row : rows) next.AddRow(Row(row));
+    auto next_shared = std::make_shared<const Relation>(std::move(next));
+    c->catalog.PutShared(table, next_shared);
+    if (old_index != nullptr) {
+      auto with_delta = TimelineIndex::WithDelta(old_index, next_shared);
+      // Appended endpoints are integers by construction, so the delta
+      // build can only refuse on a contract bug — surface it.
+      EXPECT_NE(with_delta, nullptr) << table;
+      if (with_delta != nullptr) c->catalog.PutIndex(table, with_delta);
+    }
+    grown.push_back(table);
+  }
+  return grown;
 }
 
 /// Runs `plan` through the engine and the oracle; nullopt = match.
@@ -409,6 +458,82 @@ TEST(DifferentialOracle, RandomizedQueriesMatchSqliteOnColumnarStorage) {
   int found = RunFuzz(SeedCount(), ColumnarEngine, "", /*stop_after=*/3,
                       /*kind_counts=*/nullptr);
   EXPECT_EQ(found, 0) << "reproducers dumped to the working directory";
+}
+
+// Mid-sequence writes (ISSUE 10): evaluate each fuzz query, apply the
+// case's random insert batches the way the middleware does (COW append
+// + WithDelta index), and evaluate again — the SQLite oracle, reloaded
+// with the post-write data, validates post-write reads.  On top of the
+// re-run query, a forced indexed timeslice probe per grown table pins
+// the executor's delta-merging route itself against the oracle and
+// checks (via ExecStats) that the index, delta included, really served.
+TEST(DifferentialOracle, MidSequenceInsertsKeepIndexedReadsExact) {
+  int seeds = SeedCount();
+  int failures = 0;
+  for (int seed = 0; seed < seeds && failures < 3; ++seed) {
+    FuzzCase c = BuildCase(seed, /*mid_insert_chance=*/0.5);
+    if (c.mid_inserts.empty()) continue;  // pre-write runs cover this seed
+    // Query evaluation #1: before any write (same stream as the main
+    // suite; kept so a failure here localizes to the write application).
+    std::optional<std::string> diff;
+    try {
+      diff = Diverges(c.plan, c.catalog, PlainEngine);
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << c.description << "\npre-insert error: " << e.what();
+      ++failures;
+      continue;
+    }
+    if (diff.has_value()) {
+      ADD_FAILURE() << c.description << "\npre-insert divergence:\n" << *diff;
+      ++failures;
+      continue;
+    }
+    std::vector<std::string> grown = ApplyMidInsertsWithIndexes(&c);
+    // Query evaluation #2: post-write, oracle reloaded with the grown
+    // tables, engine serving scans of them plus delta-carrying indexes.
+    try {
+      diff = Diverges(c.plan, c.catalog, PlainEngine);
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << c.description << "\npost-insert error: " << e.what();
+      ++failures;
+      continue;
+    }
+    if (diff.has_value()) {
+      ADD_FAILURE() << c.description << "\npost-insert divergence:\n" << *diff;
+      ++failures;
+      continue;
+    }
+    // Forced indexed AS-OF probes: a timeslice directly over each grown
+    // table's scan takes the executor's indexed route.
+    for (const std::string& table : grown) {
+      auto index = c.catalog.GetIndex(table);
+      if (index == nullptr) continue;  // base was unindexable
+      const Schema& stored = c.catalog.Get(table).schema();
+      for (TimePoint t : {kDomain.tmin, TimePoint{7}, kDomain.tmax - 1}) {
+        PlanPtr probe =
+            table == "p"
+                ? MakeTimesliceAt(MakeScan(table, stored), t, 0, 2)
+                : MakeTimeslice(MakeScan(table, stored), t);
+        ExecStats stats;
+        Relation indexed = Execute(probe, c.catalog, ExecOptions{}, &stats);
+        EXPECT_EQ(stats.index_timeslices, 1)
+            << c.description << " table=" << table << " t=" << t;
+        EXPECT_EQ(stats.index_delta_events,
+                  static_cast<int64_t>(index->num_delta_events()))
+            << c.description << " table=" << table << " t=" << t;
+        auto probe_diff = Diverges(probe, c.catalog, PlainEngine);
+        if (probe_diff.has_value()) {
+          ADD_FAILURE() << c.description << " table=" << table << " t=" << t
+                        << "\nindexed probe divergence:\n"
+                        << *probe_diff;
+          ++failures;
+          break;
+        }
+      }
+      if (failures >= 3) break;
+    }
+  }
+  EXPECT_EQ(failures, 0);
 }
 
 // --- Sensitivity: an injected executor bug must be caught -----------------

@@ -1,0 +1,400 @@
+// Differential timeline index coverage (ISSUE 10): every merge path of
+// the delta layer must be row-exact against the rebuild-from-scratch
+// oracle and the unindexed scan path.  Unit level: WithDelta across
+// append batches straddling the compaction threshold, K = 1, empty
+// deltas, duplicate rows, and domain-bound endpoints.  Middleware
+// level: random Insert/InsertRows interleaved with Timeslice/AS-OF
+// probes under every maintenance mode (compact-always, thresholded,
+// never-compact, disabled, background), the stale-plan-cache/index
+// regression, and the ExplainAnalyze delta counter.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "engine/temporal_ops.h"
+#include "engine/timeline_index.h"
+#include "middleware/temporal_db.h"
+#include "rewrite/rewriter.h"
+
+namespace periodk {
+namespace {
+
+constexpr TimeDomain kDomain{0, 16};
+
+Relation EncodedRelation(const std::vector<std::array<int64_t, 4>>& rows) {
+  Relation rel(Schema::FromNames({"a", "b", "a_begin", "a_end"}));
+  for (const auto& r : rows) {
+    rel.AddRow({Value::Int(r[0]), Value::Int(r[1]), Value::Int(r[2]),
+                Value::Int(r[3])});
+  }
+  return rel;
+}
+
+/// Exact comparison: same rows in the same order (the index promises
+/// scan-path row order, delta layer included).
+void ExpectRowsIdentical(const Relation& got, const Relation& want,
+                         const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  ASSERT_EQ(got.schema().size(), want.schema().size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.rows()[i], want.rows()[i]) << context << " at row " << i;
+  }
+}
+
+/// A random encoded row; occasionally degenerate (empty validity), a
+/// domain-spanning interval, or an exact duplicate of an existing row.
+Row RandomEncodedRow(Rng* rng, const Relation& existing) {
+  if (!existing.empty() && rng->Chance(0.2)) {
+    return existing.rows()[rng->Uniform(existing.size())];  // duplicate
+  }
+  if (rng->Chance(0.1)) {
+    // Domain-bound endpoints: alive from the first to the last instant.
+    return {Value::Int(rng->Range(0, 3)), Value::Int(rng->Range(0, 9)),
+            Value::Int(kDomain.tmin), Value::Int(kDomain.tmax)};
+  }
+  TimePoint b = rng->Range(kDomain.tmin, kDomain.tmax - 1);
+  TimePoint e = rng->Chance(0.15) ? b  // empty validity: never alive
+                                  : rng->Range(b + 1, kDomain.tmax);
+  return {Value::Int(rng->Range(0, 3)), Value::Int(rng->Range(0, 9)),
+          Value::Int(b), Value::Int(e)};
+}
+
+// --- Unit level: WithDelta against the rebuild oracle. ---------------------
+
+TEST(IncrementalIndexTest, WithDeltaMatchesRebuildAcrossAppendChains) {
+  Rng rng(0xD1FF);
+  // K = 1 checkpoints after every event; 3 makes deltas straddle
+  // checkpoint boundaries; 64 is the default; 999 never checkpoints.
+  for (int64_t k : {int64_t{1}, int64_t{3}, int64_t{64}, int64_t{999}}) {
+    for (int iter = 0; iter < 8; ++iter) {
+      Relation current = EncodedRelation({});
+      for (int i = static_cast<int>(rng.Uniform(6)); i > 0; --i) {
+        current.AddRow(RandomEncodedRow(&rng, current));
+      }
+      auto shared = std::make_shared<const Relation>(current);
+      std::shared_ptr<const TimelineIndex> index =
+          TimelineIndex::Build(shared, k);
+      ASSERT_NE(index, nullptr);
+      std::shared_ptr<const TimelineIndex> core;  // set by the first wrap
+      for (int batch = 0; batch < 5; ++batch) {
+        // Batch sizes 0..4 — empty deltas and threshold-straddlers.
+        for (int i = static_cast<int>(rng.Uniform(5)); i > 0; --i) {
+          current.AddRow(RandomEncodedRow(&rng, current));
+        }
+        shared = std::make_shared<const Relation>(current);
+        index = TimelineIndex::WithDelta(index, shared);
+        ASSERT_NE(index, nullptr) << "K=" << k << " batch=" << batch;
+        EXPECT_TRUE(index->has_delta());
+        EXPECT_TRUE(index->BuiltFor(shared.get()));
+        // Chains flatten: one core, never a delta-of-a-delta.
+        ASSERT_NE(index->base(), nullptr);
+        EXPECT_FALSE(index->base()->has_delta());
+        if (core == nullptr) {
+          core = index->base();
+        } else {
+          EXPECT_EQ(index->base(), core) << "flattening must keep the core";
+        }
+        auto rebuilt = TimelineIndex::Build(shared, k);
+        ASSERT_NE(rebuilt, nullptr);
+        EXPECT_EQ(index->num_events(), rebuilt->num_events());
+        for (TimePoint t = kDomain.tmin - 1; t <= kDomain.tmax + 1; ++t) {
+          std::string ctx = StrCat("K=", k, " iter=", iter, " batch=", batch,
+                                   " t=", t);
+          // (a) rebuild-from-scratch oracle, (b) unindexed scan path.
+          ExpectRowsIdentical(index->Timeslice(t), rebuilt->Timeslice(t), ctx);
+          ExpectRowsIdentical(index->Timeslice(t), TimesliceEncoded(*shared, t),
+                              ctx);
+          EXPECT_EQ(index->AliveAt(t), rebuilt->AliveAt(t)) << ctx;
+        }
+        for (int probe = 0; probe < 6; ++probe) {
+          TimePoint b = rng.Range(kDomain.tmin - 1, kDomain.tmax);
+          TimePoint e = rng.Range(kDomain.tmin - 1, kDomain.tmax + 1);
+          EXPECT_EQ(index->AliveInRange(b, e), rebuilt->AliveInRange(b, e))
+              << "K=" << k << " range [" << b << ", " << e << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(IncrementalIndexTest, EmptyDeltaIsValidAndExact) {
+  auto rel = std::make_shared<const Relation>(EncodedRelation({
+      {1, 10, 0, 5},
+      {2, 20, 3, 16},
+  }));
+  auto base = TimelineIndex::Build(rel, 2);
+  ASSERT_NE(base, nullptr);
+  // A copy with zero appended rows: the copy-on-write contract holds
+  // (prefix identical), the delta is just empty.
+  auto same = std::make_shared<const Relation>(*rel);
+  auto wrapped = TimelineIndex::WithDelta(base, same);
+  ASSERT_NE(wrapped, nullptr);
+  EXPECT_TRUE(wrapped->has_delta());
+  EXPECT_EQ(wrapped->num_delta_events(), 0u);
+  EXPECT_EQ(wrapped->num_events(), base->num_events());
+  EXPECT_TRUE(wrapped->BuiltFor(same.get()));
+  for (TimePoint t = kDomain.tmin - 1; t <= kDomain.tmax; ++t) {
+    ExpectRowsIdentical(wrapped->Timeslice(t), TimesliceEncoded(*same, t),
+                        StrCat("t=", t));
+  }
+}
+
+TEST(IncrementalIndexTest, DuplicateRowsKeepTheirMultiplicity) {
+  auto rel = std::make_shared<const Relation>(EncodedRelation({
+      {1, 10, 2, 9},
+  }));
+  auto base = TimelineIndex::Build(rel, 2);
+  ASSERT_NE(base, nullptr);
+  // Append two exact duplicates of the base row: a timeslice inside the
+  // interval must return the row three times (multiset semantics).
+  Relation next = *rel;
+  next.AddRow({Value::Int(1), Value::Int(10), Value::Int(2), Value::Int(9)});
+  next.AddRow({Value::Int(1), Value::Int(10), Value::Int(2), Value::Int(9)});
+  auto shared = std::make_shared<const Relation>(std::move(next));
+  auto index = TimelineIndex::WithDelta(base, shared);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->num_delta_events(), 4u);
+  EXPECT_EQ(index->Timeslice(5).size(), 3u);
+  ExpectRowsIdentical(index->Timeslice(5), TimesliceEncoded(*shared, 5),
+                      "duplicates");
+}
+
+TEST(IncrementalIndexTest, WithDeltaRefusesBadShapes) {
+  auto rel = std::make_shared<const Relation>(EncodedRelation({
+      {1, 10, 0, 5},
+  }));
+  auto base = TimelineIndex::Build(rel, 2);
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(TimelineIndex::WithDelta(nullptr, rel), nullptr);
+  EXPECT_EQ(TimelineIndex::WithDelta(base, nullptr), nullptr);
+  // Arity mismatch: not a copy-on-write append of the same table.
+  Relation narrow(Schema::FromNames({"a", "a_begin", "a_end"}));
+  EXPECT_EQ(TimelineIndex::WithDelta(
+                base, std::make_shared<const Relation>(std::move(narrow))),
+            nullptr);
+  // Fewer rows than the base covers: prefix contract violated.
+  EXPECT_EQ(TimelineIndex::WithDelta(
+                base, std::make_shared<const Relation>(EncodedRelation({}))),
+            nullptr);
+  // Non-integer endpoint in an appended row: the scan path throws on
+  // such rows, so the delta refuses exactly like Build does.
+  Relation bad = *rel;
+  bad.AddRow({Value::Int(2), Value::Int(20), Value::Null(), Value::Int(9)});
+  EXPECT_EQ(TimelineIndex::WithDelta(
+                base, std::make_shared<const Relation>(std::move(bad))),
+            nullptr);
+}
+
+// --- Middleware: maintenance modes, thresholds, plan cache. ----------------
+
+TemporalDB SeededDb(Rng* rng, int rows, IndexMaintenanceOptions maint = {}) {
+  TemporalDB db(kDomain);
+  db.set_index_maintenance(maint);
+  EXPECT_TRUE(
+      db.CreatePeriodTable("t", {"grp", "val", "vb", "ve"}, "vb", "ve").ok());
+  std::vector<Row> batch;
+  Relation empty = EncodedRelation({});
+  for (int i = 0; i < rows; ++i) batch.push_back(RandomEncodedRow(rng, empty));
+  EXPECT_TRUE(db.InsertRows("t", std::move(batch)).ok());
+  return db;
+}
+
+/// One probe round: the DB's indexed answers vs. (a) an index rebuilt
+/// from scratch over the current relation and (b) the scan path.
+void ExpectProbesExact(TemporalDB& db, Rng* rng, const std::string& context) {
+  std::shared_ptr<const Relation> current = db.catalog().GetShared("t");
+  auto rebuilt = TimelineIndex::Build(current);
+  ASSERT_NE(rebuilt, nullptr) << context;
+  RewriteOptions scan_opts;
+  scan_opts.use_timeline_index = false;
+  scan_opts.push_down_timeslice = false;
+  for (int probe = 0; probe < 3; ++probe) {
+    TimePoint t = rng->Range(kDomain.tmin, kDomain.tmax - 1);
+    std::string ctx = StrCat(context, " t=", t);
+    auto sliced = db.Timeslice("t", t);
+    ASSERT_TRUE(sliced.ok()) << ctx;
+    ExpectRowsIdentical(*sliced, rebuilt->Timeslice(t), ctx + " (rebuild)");
+    ExpectRowsIdentical(*sliced, TimesliceEncoded(*current, t),
+                        ctx + " (scan)");
+    std::string as_of =
+        StrCat("SEQ VT AS OF ", t, " (SELECT grp, val FROM t)");
+    auto indexed = db.Query(as_of);
+    ASSERT_TRUE(indexed.ok()) << ctx;
+    auto scanned = db.Query(as_of, scan_opts);
+    ASSERT_TRUE(scanned.ok()) << ctx;
+    EXPECT_TRUE(indexed->BagEquals(*scanned)) << ctx;
+  }
+}
+
+TEST(IncrementalIndexMiddlewareTest, InterleavedWritesAndProbesStayExact) {
+  struct Mode {
+    const char* name;
+    IndexMaintenanceOptions maint;
+  };
+  std::vector<Mode> modes;
+  modes.push_back({"compact-always", {}});
+  modes.back().maint.min_compaction_events = 1;
+  modes.back().maint.max_compaction_events = 1;
+  modes.push_back({"threshold-8", {}});
+  modes.back().maint.min_compaction_events = 8;
+  modes.back().maint.max_compaction_events = 8;
+  modes.push_back({"never-compact", {}});
+  modes.back().maint.min_compaction_events = 1 << 30;
+  modes.back().maint.max_compaction_events = 1 << 30;
+  modes.push_back({"background", {}});
+  modes.back().maint.min_compaction_events = 8;
+  modes.back().maint.max_compaction_events = 8;
+  modes.back().maint.background_compaction = true;
+  for (const Mode& mode : modes) {
+    Rng rng(0xBEEF ^ static_cast<uint64_t>(mode.name[0]));
+    TemporalDB db = SeededDb(&rng, 6, mode.maint);
+    ExpectProbesExact(db, &rng, StrCat(mode.name, " warmup"));
+    for (int iter = 0; iter < 30; ++iter) {
+      const Relation& existing = db.catalog().Get("t");
+      if (rng.Chance(0.5)) {
+        ASSERT_TRUE(db.Insert("t", RandomEncodedRow(&rng, existing)).ok());
+      } else {
+        std::vector<Row> batch;
+        for (int i = static_cast<int>(rng.Uniform(5)); i > 0; --i) {
+          batch.push_back(RandomEncodedRow(&rng, existing));
+        }
+        ASSERT_TRUE(db.InsertRows("t", std::move(batch)).ok());
+      }
+      ExpectProbesExact(db, &rng, StrCat(mode.name, " iter=", iter));
+    }
+    db.WaitForIndexMaintenance();
+    ExpectProbesExact(db, &rng, StrCat(mode.name, " settled"));
+    IndexMaintenanceStats stats = db.index_maintenance_stats();
+    if (std::string(mode.name) == "compact-always") {
+      EXPECT_GT(stats.compactions, 0) << mode.name;
+    }
+    if (std::string(mode.name) == "never-compact") {
+      EXPECT_GT(stats.delta_publishes, 0) << mode.name;
+      EXPECT_EQ(stats.compactions, 0) << mode.name;
+      auto index = db.catalog().GetIndex("t");
+      ASSERT_NE(index, nullptr);
+      EXPECT_TRUE(index->has_delta());
+      EXPECT_GT(index->num_delta_events(), 8u)
+          << "deltas must keep accumulating past the (disabled) threshold";
+    }
+  }
+}
+
+TEST(IncrementalIndexMiddlewareTest, DisabledMaintenanceDropsIndexOnWrite) {
+  IndexMaintenanceOptions maint;
+  maint.maintain_indexes = false;
+  Rng rng(0x0FF);
+  TemporalDB db = SeededDb(&rng, 10, maint);
+  ASSERT_TRUE(db.Query("SEQ VT AS OF 5 (SELECT grp FROM t)").ok());
+  ASSERT_NE(db.catalog().GetIndex("t"), nullptr) << "lazy build on read";
+  ASSERT_TRUE(db.Insert("t", {Value::Int(1), Value::Int(1), Value::Int(0),
+                              Value::Int(16)})
+                  .ok());
+  // Pre-differential behavior: the write dropped the slot outright.
+  EXPECT_EQ(db.catalog().GetIndex("t"), nullptr);
+  EXPECT_EQ(db.index_maintenance_stats().delta_publishes, 0);
+  ExpectProbesExact(db, &rng, "disabled");
+}
+
+// The stale-plan-cache / index interaction regression (ISSUE 10): a
+// plan bound and cached *before* an insert must never be served with
+// the pre-delta index after it.  Plans and indexes are invalidated
+// through different mechanisms (per-table version tags vs. BuiltFor
+// pointer identity + the publish under the same exclusive section), so
+// this pins their composition: post-insert reads see the new row AND
+// still run indexed, through the delta.
+TEST(IncrementalIndexMiddlewareTest, CachedPlanNeverServesPreDeltaIndex) {
+  Rng rng(0xCAC4E);
+  TemporalDB db = SeededDb(&rng, 12);
+  const std::string sql = "SEQ VT AS OF 5 (SELECT grp, val FROM t)";
+  ASSERT_TRUE(db.Prepare(sql).ok());
+  auto before = db.Query(sql);
+  ASSERT_TRUE(before.ok());
+  EXPECT_GE(db.plan_cache_stats().hits, 1) << "the prepared plan must serve";
+  auto old_index = db.catalog().GetIndex("t");
+  ASSERT_NE(old_index, nullptr);
+
+  ASSERT_TRUE(db.Insert("t", {Value::Int(7), Value::Int(7), Value::Int(0),
+                              Value::Int(16)})
+                  .ok());
+  // The publish swapped relation and index together (generation tag
+  // bumped in the same exclusive section): the slot now holds a
+  // delta-carrying index built for the new relation, not the old one.
+  auto current = db.catalog().GetShared("t");
+  auto new_index = db.catalog().GetIndex("t");
+  ASSERT_NE(new_index, nullptr);
+  EXPECT_NE(new_index, old_index);
+  EXPECT_TRUE(new_index->has_delta());
+  EXPECT_TRUE(new_index->BuiltFor(current.get()));
+  EXPECT_FALSE(new_index->BuiltFor(nullptr));
+  EXPECT_FALSE(old_index->BuiltFor(current.get()))
+      << "the executor's BuiltFor check must reject the pre-delta index";
+
+  auto after = db.Query(sql);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), before->size() + 1)
+      << "a cached plan served a pre-insert snapshot";
+  // Still indexed, and the read crossed exactly the one-row delta.
+  auto explained = db.ExplainAnalyze(sql);
+  ASSERT_TRUE(explained.ok());
+  EXPECT_NE(explained->find("index timeslices: 1"), std::string::npos)
+      << *explained;
+  EXPECT_NE(explained->find("index delta events: 2"), std::string::npos)
+      << *explained;
+  EXPECT_NE(explained->find("index maintenance: "), std::string::npos)
+      << *explained;
+}
+
+TEST(IncrementalIndexMiddlewareTest, BackgroundCompactionPublishesUnderTag) {
+  IndexMaintenanceOptions maint;
+  maint.background_compaction = true;
+  maint.min_compaction_events = 4;
+  maint.max_compaction_events = 4;
+  Rng rng(0xB6);
+  TemporalDB db = SeededDb(&rng, 5, maint);
+  ASSERT_TRUE(db.Query("SEQ VT AS OF 5 (SELECT grp FROM t)").ok());
+  // Two appended rows cross the 4-event threshold; waiting between
+  // inserts makes each scheduled compaction settle deterministically.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(db.Insert("t", {Value::Int(i), Value::Int(i), Value::Int(1),
+                                Value::Int(9)})
+                    .ok());
+    db.WaitForIndexMaintenance();
+  }
+  IndexMaintenanceStats stats = db.index_maintenance_stats();
+  EXPECT_GE(stats.background_compactions, 1) << stats.ToString();
+  EXPECT_GT(stats.delta_publishes, 0) << stats.ToString();
+  auto index = db.catalog().GetIndex("t");
+  ASSERT_NE(index, nullptr);
+  EXPECT_FALSE(index->has_delta()) << "the folded index must have landed";
+  EXPECT_TRUE(index->BuiltFor(db.catalog().GetShared("t").get()));
+
+  // Race a writer against the published version: the compaction built
+  // for the pre-race state must lose its generation-tag check (or the
+  // racing order makes it moot) — either way the live slot may only
+  // hold an index for the *current* relation.
+  ASSERT_TRUE(db.InsertRows("t", {{Value::Int(8), Value::Int(8), Value::Int(0),
+                                   Value::Int(16)},
+                                  {Value::Int(9), Value::Int(9), Value::Int(2),
+                                   Value::Int(7)}})
+                  .ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(3), Value::Int(3), Value::Int(4),
+                              Value::Int(12)})
+                  .ok());
+  db.WaitForIndexMaintenance();
+  auto current = db.catalog().GetShared("t");
+  auto settled = db.catalog().GetIndex("t");
+  if (settled != nullptr) {
+    EXPECT_TRUE(settled->BuiltFor(current.get()))
+        << "a stale compaction must never replace a newer index";
+  }
+  ExpectProbesExact(db, &rng, "post-race");
+}
+
+}  // namespace
+}  // namespace periodk
